@@ -1,0 +1,114 @@
+// Figure 2 reproduction (the motivation example, Section III-B).
+//
+// Two jobs on a 3-rack cluster. Job1: 9 maps, 3 reduces; Job2: 15 maps,
+// 3 reduces; every map sends 1 unit to every reduce; the OCS moves 1 unit
+// per unit time; Sunflow schedules the coflows (Job1 has priority — its
+// lower-bound CCT is smaller).
+//
+//   Case 1 (poor placement): maps spread 3/3/3 (5/5/5), but reduces packed
+//          on two racks (2+1). Few circuits usable, long CCTs.
+//   Case 2 (good placement): reduces spread 1/1/1 — all three circuits run
+//          concurrently, much shorter CCTs.
+//
+// The paper reports Case 1 CCTs of 12+2d / 20+3d and Case 2 CCTs of
+// 6+2d / 16+3d (d = reconfiguration delay). The figure's exact placements
+// are not fully recoverable from the text; the placements below reproduce
+// the paper's lower bounds for Job1 exactly and the qualitative gap for
+// Job2 (whose CCT includes queueing behind Job1).
+//
+// Units: 1 unit of data = 1 GB, OCS = 8 Gb/s (1 GB per unit time = 1 s).
+#include <cstdio>
+
+#include "coflow/sunflow.h"
+#include "common/ids.h"
+
+using namespace cosched;
+
+namespace {
+
+struct Case {
+  Simulator sim;
+  Network net;
+  SunflowScheduler sunflow;
+  IdAllocator<FlowId> flow_ids;
+
+  explicit Case(Duration delta)
+      : net(sim, topo(delta)), sunflow(sim, net) {}
+
+  static HybridTopology topo(Duration delta) {
+    HybridTopology t;
+    t.num_racks = 3;
+    t.ocs_link = Bandwidth::gbps(8);  // 1 GB per "unit time" (second)
+    t.ocs_reconfig_delay = delta;
+    t.elephant_threshold = DataSize::megabytes(1);  // everything qualifies
+    return t;
+  }
+
+  // maps[i] = #maps on rack i; reduces[j] = #reduces on rack j.
+  // Every map sends 1 unit (1 GB) to every reduce task.
+  void add_job(Coflow& coflow, const std::vector<int>& maps,
+               const std::vector<int>& reduces) {
+    for (std::size_t i = 0; i < maps.size(); ++i) {
+      for (std::size_t j = 0; j < reduces.size(); ++j) {
+        if (i == j || maps[i] == 0 || reduces[j] == 0) continue;
+        coflow.add_demand(
+            flow_ids, RackId{static_cast<std::int64_t>(i)},
+            RackId{static_cast<std::int64_t>(j)},
+            DataSize::gigabytes(static_cast<double>(maps[i] * reduces[j])));
+      }
+    }
+    coflow.mark_released(sim.now());
+    for (const auto& f : coflow.flows()) {
+      f->set_path(FlowPath::kOcs);
+      sunflow.submit(coflow, *f);
+    }
+  }
+
+  double cct_of(const Coflow& coflow) {
+    double last = 0;
+    for (const auto& f : coflow.flows()) {
+      last = std::max(last, f->completion_time().sec());
+    }
+    return last - coflow.release_time().sec();
+  }
+};
+
+void run_case(const char* name, const std::vector<int>& red1,
+              const std::vector<int>& red2, Duration delta) {
+  Case c(delta);
+  Coflow job1(CoflowId{1}, JobId{1});
+  Coflow job2(CoflowId{2}, JobId{2});
+  c.add_job(job1, {3, 3, 3}, red1);
+  c.add_job(job2, {5, 5, 5}, red2);
+  c.sim.run();
+
+  const Duration b1 = job1.lower_bound(c.net.ocs().link_rate(),
+                                       c.net.ocs().reconfig_delay());
+  const Duration b2 = job2.lower_bound(c.net.ocs().link_rate(),
+                                       c.net.ocs().reconfig_delay());
+  std::printf("%s\n", name);
+  std::printf("  Job1: lower bound %.2f units, simulated CCT %.2f units\n",
+              b1.sec(), c.cct_of(job1));
+  std::printf("  Job2: lower bound %.2f units, simulated CCT %.2f units "
+              "(includes queueing behind Job1)\n",
+              b2.sec(), c.cct_of(job2));
+}
+
+}  // namespace
+
+int main() {
+  const Duration delta = Duration::milliseconds(10);
+  std::printf("=== Figure 2: task placement determines CCT (delta=%.2f "
+              "units) ===\n\n",
+              delta.sec());
+  run_case("Case 1: reduces packed on two racks (2+1)", {2, 1, 0},
+           {2, 1, 0}, delta);
+  std::printf("\n");
+  run_case("Case 2: reduces spread one per rack (1+1+1)", {1, 1, 1},
+           {1, 1, 1}, delta);
+  std::printf(
+      "\n(paper: Case 1 = 12+2d / 20+3d; Case 2 = 6+2d / 16+3d — Case 2\n"
+      " strictly dominates because every placement leaves more circuits\n"
+      " usable concurrently)\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 3 reproduction.
+//
+// 3(a): makespan, average JCT, and average CCT of Fair, Corral, and
+//       Co-scheduler, normalized to Fair.
+// 3(b): fraction of cross-rack shuffle traffic carried by the OCS vs EPS.
+//
+// Paper's reported shape: Co-scheduler reduces makespan by 51.2% / 37.2%,
+// average JCT by 54.6% / 33.8%, and average CCT by 73.6% / 54.8% vs Fair /
+// Corral; OCS carries 92.2% (Co-scheduler), 33.0% (Corral), 2.2% (Fair) of
+// the traffic.
+#include "bench_util.h"
+
+using namespace cosched;
+using namespace cosched::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  const ExperimentConfig cfg = paper_config(args);
+
+  const std::vector<std::string> names{"fair", "corral", "coscheduler"};
+  const auto results = compare_schedulers(cfg, names);
+  const AggregateMetrics& fair = results[0];
+
+  print_header("Figure 3(a): normalized to Fair (lower is better)");
+  print_cols({"makespan", "avg JCT", "avg CCT"});
+  for (const auto& r : results) {
+    print_row(r.scheduler,
+              {r.makespan_sec.mean() / fair.makespan_sec.mean(),
+               r.avg_jct_sec.mean() / fair.avg_jct_sec.mean(),
+               r.avg_cct_sec.mean() / fair.avg_cct_sec.mean()});
+  }
+
+  print_header("Figure 3(a): improvement over Fair (Equation 10)");
+  print_cols({"makespan", "avg JCT", "avg CCT"});
+  for (const auto& r : results) {
+    print_row(r.scheduler,
+              {improvement_over(fair.makespan_sec.mean(),
+                                r.makespan_sec.mean()),
+               improvement_over(fair.avg_jct_sec.mean(),
+                                r.avg_jct_sec.mean()),
+               improvement_over(fair.avg_cct_sec.mean(),
+                                r.avg_cct_sec.mean())});
+  }
+
+  print_header("Figure 3(b): fraction of cross-rack traffic via OCS");
+  print_cols({"ocs", "eps"});
+  for (const auto& r : results) {
+    print_row(r.scheduler,
+              {r.ocs_fraction.mean(), 1.0 - r.ocs_fraction.mean()});
+  }
+
+  std::printf("\n(paper: Co-scheduler vs Fair: makespan -51.2%%, JCT -54.6%%,"
+              " CCT -73.6%%; OCS share 92.2%% / 33.0%% / 2.2%%)\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Microbenchmarks for the network substrate: EPS max-min recomputation
+// cost as a function of the active-flow count, and OCS circuit churn.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/eps_fabric.h"
+#include "net/ocs_switch.h"
+
+namespace cosched {
+namespace {
+
+HybridTopology topo60() {
+  HybridTopology t;
+  return t;  // paper defaults: 60 racks
+}
+
+void BM_EpsProgressiveFilling(benchmark::State& state) {
+  const auto num_flows = static_cast<std::size_t>(state.range(0));
+  Simulator sim;
+  EpsFabric eps(sim, topo60());
+  Rng rng(1);
+  IdAllocator<FlowId> ids;
+  std::vector<std::unique_ptr<Flow>> flows;
+  for (std::size_t i = 0; i < num_flows; ++i) {
+    const auto src = rng.uniform_int(0, 59);
+    auto dst = rng.uniform_int(0, 59);
+    if (dst == src) dst = (dst + 1) % 60;
+    flows.push_back(std::make_unique<Flow>(ids.next(), CoflowId{0}, JobId{0},
+                                           RackId{src}, RackId{dst},
+                                           DataSize::gigabytes(100)));
+    flows.back()->set_path(FlowPath::kEps);
+    eps.start_flow(*flows.back(), nullptr);
+  }
+  sim.run_until(SimTime::zero());  // initial replan
+  for (auto _ : state) {
+    // Force a fresh settle + recompute by nudging demand.
+    flows[0]->add_demand(DataSize::bytes(1));
+    eps.demand_added(*flows[0]);
+    sim.run_until(sim.now());  // process the coalesced replan event
+    benchmark::DoNotOptimize(eps.current_rates().size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EpsProgressiveFilling)->Range(8, 8192)->Complexity();
+
+void BM_OcsCircuitChurn(benchmark::State& state) {
+  Simulator sim;
+  OcsSwitch ocs(sim, topo60());
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    const RackId src{i % 60};
+    const RackId dst{(i + 7) % 60};
+    ocs.setup_circuit(src, dst, nullptr);
+    sim.run();  // completes the reconfiguration
+    ocs.teardown_circuit(src, dst);
+    ++i;
+  }
+}
+BENCHMARK(BM_OcsCircuitChurn);
+
+void BM_EpsSingleFlowLifecycle(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    EpsFabric eps(sim, topo60());
+    IdAllocator<FlowId> ids;
+    Flow f(ids.next(), CoflowId{0}, JobId{0}, RackId{0}, RackId{1},
+           DataSize::gigabytes(1));
+    f.set_path(FlowPath::kEps);
+    eps.start_flow(f, nullptr);
+    sim.run();
+    benchmark::DoNotOptimize(f.completed());
+  }
+}
+BENCHMARK(BM_EpsSingleFlowLifecycle);
+
+}  // namespace
+}  // namespace cosched
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Shared helpers for the figure-reproduction benches: a tiny flag parser,
+// the paper's experiment defaults, and table printing.
+//
+// Every bench accepts:
+//   --reps=N    repetitions (paper: 20; default 3 to keep CI fast)
+//   --jobs=N    jobs per repetition (paper: 1000)
+//   --seed=N    base seed
+// and prints one table per figure panel, with values normalized exactly the
+// way the paper normalizes them (to the Fair scheduler unless stated).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+
+namespace cosched::bench {
+
+struct BenchArgs {
+  std::int32_t reps = 2;
+  std::int32_t jobs = 200;
+  std::uint64_t seed = 42;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto value = [&](const char* prefix) -> const char* {
+        return a.rfind(prefix, 0) == 0 ? a.c_str() + std::strlen(prefix)
+                                       : nullptr;
+      };
+      if (const char* reps = value("--reps=")) {
+        args.reps = std::atoi(reps);
+      } else if (const char* jobs = value("--jobs=")) {
+        args.jobs = std::atoi(jobs);
+      } else if (const char* seed = value("--seed=")) {
+        args.seed = std::strtoull(seed, nullptr, 10);
+      } else if (a == "--help" || a == "-h") {
+        std::printf("usage: %s [--reps=N] [--jobs=N (paper: 1000)] [--seed=N]\n", argv[0]);
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+};
+
+/// The paper's experimental setting (Section V-A): 60 racks x 10 servers,
+/// 20 containers/server, 10 Gb/s NICs, 10:1 oversubscription, 100 Gb/s OCS,
+/// delta = 10 ms, T_e = 1.125 GB, 1000 jobs in [0, 90] min, 20 users.
+inline ExperimentConfig paper_config(const BenchArgs& args) {
+  ExperimentConfig cfg;
+  cfg.sim.topo = HybridTopology{};  // defaults mirror the paper
+  cfg.workload.num_jobs = args.jobs;
+  cfg.workload.num_users = 20;
+  // Scale the arrival window with the job count so smaller --jobs runs
+  // keep the paper's offered load.
+  cfg.workload.arrival_window =
+      Duration::minutes(90.0 * args.jobs / 1000.0);
+  cfg.repetitions = args.reps;
+  cfg.base_seed = args.seed;
+  return cfg;
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+inline void print_row(const std::string& label,
+                      const std::vector<double>& values) {
+  std::printf("%-22s", label.c_str());
+  for (double v : values) std::printf(" %10.3f", v);
+  std::printf("\n");
+}
+
+inline void print_cols(const std::vector<std::string>& cols) {
+  std::printf("%-22s", "");
+  for (const auto& c : cols) std::printf(" %10s", c.c_str());
+  std::printf("\n");
+}
+
+}  // namespace cosched::bench

@@ -1,0 +1,91 @@
+// Trace tooling: generate a SWIM-style synthetic workload trace, inspect
+// one, or replay one through the simulator.
+//
+//   trace_tools generate <path> [num_jobs] [seed]   write a trace CSV
+//   trace_tools stats    <path>                     print workload stats
+//   trace_tools replay   <path> <scheduler>         simulate a trace
+//
+// Schedulers: fair | corral | coscheduler | mts+ocas | ocas
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/experiment.h"
+#include "workload/generator.h"
+#include "workload/trace_io.h"
+
+using namespace cosched;
+
+namespace {
+
+int cmd_generate(int argc, char** argv) {
+  const std::string path = argv[2];
+  WorkloadConfig cfg;
+  cfg.num_jobs = argc > 3 ? std::atoi(argv[3]) : 1000;
+  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10)
+                                      : 42;
+  Rng rng(seed);
+  const auto jobs = generate_workload(cfg, rng);
+  write_trace_file(path, jobs);
+  std::printf("wrote %zu jobs to %s\n", jobs.size(), path.c_str());
+  return 0;
+}
+
+int cmd_stats(const char* path) {
+  const auto jobs = read_trace_file(path);
+  const HybridTopology topo;
+  const WorkloadStats s = compute_stats(jobs, topo.elephant_threshold);
+  std::printf("jobs:            %lld\n", static_cast<long long>(s.num_jobs));
+  std::printf("shuffle-heavy:   %lld (%.1f%%)\n",
+              static_cast<long long>(s.num_shuffle_heavy),
+              100.0 * static_cast<double>(s.num_shuffle_heavy) /
+                  static_cast<double>(s.num_jobs));
+  std::printf("map tasks:       %lld\n",
+              static_cast<long long>(s.total_map_tasks));
+  std::printf("reduce tasks:    %lld\n",
+              static_cast<long long>(s.total_reduce_tasks));
+  std::printf("total input:     %.1f GB\n", s.total_input.in_gigabytes());
+  std::printf("total shuffle:   %.1f GB\n", s.total_shuffle.in_gigabytes());
+  std::printf("arrival window:  [%.1f, %.1f] s\n", s.first_arrival.sec(),
+              s.last_arrival.sec());
+  return 0;
+}
+
+int cmd_replay(const char* path, const char* scheduler) {
+  auto jobs = read_trace_file(path);
+  SimConfig cfg;
+  cfg.seed = 1;
+  SimulationDriver driver(cfg, std::move(jobs),
+                          make_scheduler_factory(scheduler)());
+  const RunMetrics m = driver.run();
+  std::printf("scheduler:  %s\n", m.scheduler.c_str());
+  std::printf("makespan:   %.1f s\n", m.makespan.sec());
+  std::printf("avg JCT:    %.1f s\n", m.avg_jct_sec());
+  std::printf("avg CCT:    %.2f s\n", m.avg_cct_sec());
+  std::printf("OCS share:  %.1f%% of cross-rack bytes\n",
+              100.0 * m.ocs_traffic_fraction());
+  std::printf("heavy JCT:  %.1f s   light JCT: %.1f s\n",
+              m.avg_jct_sec(true), m.avg_jct_sec(false));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string cmd = argc > 1 ? argv[1] : "";
+  try {
+    if (cmd == "generate" && argc >= 3) return cmd_generate(argc, argv);
+    if (cmd == "stats" && argc == 3) return cmd_stats(argv[2]);
+    if (cmd == "replay" && argc == 4) return cmd_replay(argv[2], argv[3]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "usage:\n"
+               "  %s generate <path> [num_jobs] [seed]\n"
+               "  %s stats <path>\n"
+               "  %s replay <path> <fair|corral|coscheduler|mts+ocas|ocas>\n",
+               argv[0], argv[0], argv[0]);
+  return 2;
+}

@@ -1,0 +1,91 @@
+#include "cluster/block_placement.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cosched {
+
+std::vector<BlockReplicas> place_blocks_random(std::int32_t num_blocks,
+                                               std::int32_t num_racks,
+                                               std::int32_t replication,
+                                               Rng& rng) {
+  COSCHED_CHECK(num_blocks >= 0);
+  COSCHED_CHECK(num_racks >= 1);
+  COSCHED_CHECK(replication >= 1);
+  const std::int32_t effective_repl = std::min(replication, num_racks);
+  std::vector<BlockReplicas> out;
+  out.reserve(static_cast<std::size_t>(num_blocks));
+  for (std::int32_t b = 0; b < num_blocks; ++b) {
+    BlockReplicas br;
+    for (std::int64_t r : rng.sample_without_replacement(num_racks,
+                                                         effective_repl)) {
+      br.racks.push_back(RackId{r});
+    }
+    out.push_back(std::move(br));
+  }
+  return out;
+}
+
+std::vector<BlockReplicas> place_blocks_clustered(
+    std::int32_t num_blocks, std::int32_t num_racks, std::int32_t replication,
+    std::int32_t r_data, Rng& rng,
+    std::vector<std::vector<RackId>>* sets_out) {
+  COSCHED_CHECK(num_blocks >= 0);
+  COSCHED_CHECK(num_racks >= 1);
+  COSCHED_CHECK(replication >= 1);
+  COSCHED_CHECK(r_data >= 1);
+
+  // Clamp so `replication` disjoint sets of r_data racks fit the cluster.
+  const std::int32_t effective_repl = std::min(replication, num_racks);
+  const std::int32_t max_r_data = std::max(1, num_racks / effective_repl);
+  const std::int32_t rd = std::min(r_data, max_r_data);
+
+  const std::vector<std::int64_t> chosen = rng.sample_without_replacement(
+      num_racks, static_cast<std::int64_t>(effective_repl) * rd);
+
+  std::vector<std::vector<RackId>> sets(
+      static_cast<std::size_t>(effective_repl));
+  for (std::int32_t k = 0; k < effective_repl; ++k) {
+    for (std::int32_t i = 0; i < rd; ++i) {
+      sets[static_cast<std::size_t>(k)].push_back(
+          RackId{chosen[static_cast<std::size_t>(k) * rd + i]});
+    }
+  }
+
+  std::vector<BlockReplicas> out;
+  out.reserve(static_cast<std::size_t>(num_blocks));
+  for (std::int32_t b = 0; b < num_blocks; ++b) {
+    BlockReplicas br;
+    for (std::int32_t k = 0; k < effective_repl; ++k) {
+      br.racks.push_back(
+          sets[static_cast<std::size_t>(k)][static_cast<std::size_t>(b % rd)]);
+    }
+    out.push_back(std::move(br));
+  }
+  if (sets_out != nullptr) *sets_out = std::move(sets);
+  return out;
+}
+
+std::vector<BlockReplicas> place_blocks_on_racks(
+    std::int32_t num_blocks, const std::vector<RackId>& racks,
+    std::int32_t replication, Rng& rng) {
+  COSCHED_CHECK(num_blocks >= 0);
+  COSCHED_CHECK(!racks.empty());
+  COSCHED_CHECK(replication >= 1);
+  const auto n = static_cast<std::int64_t>(racks.size());
+  const std::int64_t effective_repl =
+      std::min<std::int64_t>(replication, n);
+  std::vector<BlockReplicas> out;
+  out.reserve(static_cast<std::size_t>(num_blocks));
+  for (std::int32_t b = 0; b < num_blocks; ++b) {
+    BlockReplicas br;
+    for (std::int64_t i : rng.sample_without_replacement(n, effective_repl)) {
+      br.racks.push_back(racks[static_cast<std::size_t>(i)]);
+    }
+    out.push_back(std::move(br));
+  }
+  return out;
+}
+
+}  // namespace cosched

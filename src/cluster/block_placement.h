@@ -1,0 +1,47 @@
+// HDFS-style input block placement policies.
+//
+// Every block has `replication` replicas, each on a distinct rack. Three
+// policies are provided:
+//   * random     — conventional Hadoop: replicas scattered over the whole
+//                  cluster (Fair's default);
+//   * clustered  — the paper's MTS guideline: `replication` mutually
+//                  disjoint sets of `r_data` racks, replica k of every
+//                  block spread evenly over set k;
+//   * on_racks   — all replicas confined to a caller-chosen rack set
+//                  (Corral-style planning).
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace cosched {
+
+struct BlockReplicas {
+  /// Racks holding a replica; distinct.
+  std::vector<RackId> racks;
+};
+
+/// Conventional random placement over all `num_racks` racks.
+[[nodiscard]] std::vector<BlockReplicas> place_blocks_random(
+    std::int32_t num_blocks, std::int32_t num_racks, std::int32_t replication,
+    Rng& rng);
+
+/// The MTS guideline placement: `replication` disjoint random sets of
+/// `r_data` racks; replica k of block b lands on set_k[b mod r_data], so
+/// each set holds the whole input spread evenly. `r_data` is clamped so the
+/// sets fit (replication * r_data <= num_racks). Returns the chosen sets
+/// through `sets_out` when non-null.
+[[nodiscard]] std::vector<BlockReplicas> place_blocks_clustered(
+    std::int32_t num_blocks, std::int32_t num_racks, std::int32_t replication,
+    std::int32_t r_data, Rng& rng,
+    std::vector<std::vector<RackId>>* sets_out = nullptr);
+
+/// All replicas confined to `racks` (replicas of one block on distinct
+/// racks when possible).
+[[nodiscard]] std::vector<BlockReplicas> place_blocks_on_racks(
+    std::int32_t num_blocks, const std::vector<RackId>& racks,
+    std::int32_t replication, Rng& rng);
+
+}  // namespace cosched

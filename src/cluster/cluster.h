@@ -1,0 +1,50 @@
+// Container (slot) accounting for the rack/node hierarchy.
+//
+// A container is a fixed-size task slot on a server (paper: 20 per server,
+// 10 servers per rack). The Cluster tracks free slots; it knows nothing
+// about jobs — the driver owns task state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "net/topology.h"
+
+namespace cosched {
+
+class Cluster {
+ public:
+  explicit Cluster(const HybridTopology& topo);
+
+  [[nodiscard]] std::int32_t num_racks() const { return topo_.num_racks; }
+  [[nodiscard]] std::int64_t slots_per_rack() const {
+    return topo_.slots_per_rack();
+  }
+  [[nodiscard]] std::int64_t free_slots(RackId rack) const;
+  [[nodiscard]] std::int64_t used_slots(RackId rack) const;
+  [[nodiscard]] std::int64_t total_free_slots() const;
+
+  /// Claim one slot on `rack`; returns the node hosting it. Picks the node
+  /// with the most free slots (balances load across servers). Requires a
+  /// free slot.
+  NodeId allocate_slot(RackId rack);
+
+  /// Return a slot previously obtained from allocate_slot.
+  void release_slot(RackId rack, NodeId node);
+
+  /// Global node id of server `server_index` on `rack`.
+  [[nodiscard]] NodeId node_id(RackId rack, std::int32_t server_index) const;
+
+ private:
+  [[nodiscard]] std::int32_t node_server_index(RackId rack,
+                                               NodeId node) const;
+
+  HybridTopology topo_;
+  // free_[rack][server] = free slots on that server.
+  std::vector<std::vector<std::int32_t>> free_;
+  std::vector<std::int64_t> free_per_rack_;
+  std::int64_t total_free_ = 0;
+};
+
+}  // namespace cosched

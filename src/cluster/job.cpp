@@ -1,0 +1,111 @@
+#include "cluster/job.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cosched {
+
+Job::Job(const JobSpec& spec, DataSize elephant_threshold,
+         IdAllocator<TaskId>& task_ids, CoflowId coflow_id)
+    : spec_(spec), shuffle_heavy_(spec.shuffle_heavy(elephant_threshold)) {
+  spec_.validate();
+  maps_.reserve(static_cast<std::size_t>(spec_.num_maps));
+  for (std::int32_t i = 0; i < spec_.num_maps; ++i) {
+    maps_.emplace_back(task_ids.next(), spec_.id, TaskKind::kMap, i,
+                       spec_.map_durations[static_cast<std::size_t>(i)]);
+  }
+  reduces_.reserve(static_cast<std::size_t>(spec_.num_reduces));
+  for (std::int32_t i = 0; i < spec_.num_reduces; ++i) {
+    reduces_.emplace_back(task_ids.next(), spec_.id, TaskKind::kReduce, i,
+                          spec_.reduce_durations[static_cast<std::size_t>(i)]);
+  }
+  coflow_ = std::make_unique<Coflow>(coflow_id, spec_.id);
+}
+
+void Job::set_block_placement(std::vector<BlockReplicas> blocks) {
+  COSCHED_CHECK_MSG(blocks.size() == static_cast<std::size_t>(spec_.num_maps),
+                    "job " << id() << ": expected one block per map task");
+  blocks_ = std::move(blocks);
+  pending_maps_by_rack_.clear();
+  for (std::int32_t i = 0; i < spec_.num_maps; ++i) {
+    for (RackId r : blocks_[static_cast<std::size_t>(i)].racks) {
+      pending_maps_by_rack_[r].push_back(i);
+    }
+  }
+}
+
+Task* Job::next_pending_reduce() {
+  while (reduce_cursor_ < spec_.num_reduces &&
+         reduces_[static_cast<std::size_t>(reduce_cursor_)].state() !=
+             TaskState::kPending) {
+    ++reduce_cursor_;
+  }
+  if (reduce_cursor_ >= spec_.num_reduces) return nullptr;
+  return &reduces_[static_cast<std::size_t>(reduce_cursor_)];
+}
+
+Task* Job::next_pending_map_local(RackId rack) {
+  auto it = pending_maps_by_rack_.find(rack);
+  if (it == pending_maps_by_rack_.end()) return nullptr;
+  std::vector<std::int32_t>& queue = it->second;
+  while (!queue.empty()) {
+    Task& t = maps_[static_cast<std::size_t>(queue.back())];
+    if (t.state() == TaskState::kPending) return &t;
+    queue.pop_back();  // placed elsewhere; prune lazily
+  }
+  pending_maps_by_rack_.erase(it);
+  return nullptr;
+}
+
+Task* Job::next_pending_map_any() {
+  while (map_cursor_ < spec_.num_maps &&
+         maps_[static_cast<std::size_t>(map_cursor_)].state() !=
+             TaskState::kPending) {
+    ++map_cursor_;
+  }
+  if (map_cursor_ >= spec_.num_maps) return nullptr;
+  return &maps_[static_cast<std::size_t>(map_cursor_)];
+}
+
+std::vector<RackId> Job::racks_with_pending_local_maps() const {
+  std::vector<RackId> out;
+  out.reserve(pending_maps_by_rack_.size());
+  for (const auto& [rack, queue] : pending_maps_by_rack_) {
+    if (!queue.empty()) out.push_back(rack);
+  }
+  return out;
+}
+
+bool Job::in_map_guideline(RackId rack) const {
+  return std::find(guideline_map_racks_.begin(), guideline_map_racks_.end(),
+                   rack) != guideline_map_racks_.end();
+}
+
+bool Job::rack_preferred(RackId rack) const {
+  if (preferred_racks_.empty()) return true;
+  return std::find(preferred_racks_.begin(), preferred_racks_.end(), rack) !=
+         preferred_racks_.end();
+}
+
+const BlockReplicas& Job::block(std::int32_t map_index) const {
+  COSCHED_CHECK(map_index >= 0 &&
+                map_index < static_cast<std::int32_t>(blocks_.size()));
+  return blocks_[static_cast<std::size_t>(map_index)];
+}
+
+bool Job::map_local_on(std::int32_t map_index, RackId rack) const {
+  const BlockReplicas& b = block(map_index);
+  return std::find(b.racks.begin(), b.racks.end(), rack) != b.racks.end();
+}
+
+std::int32_t Job::reduce_plan_remaining(RackId rack) const {
+  auto it = reduce_plan_.find(rack);
+  if (it == reduce_plan_.end()) return 0;
+  auto placed_it = reduce_placed_by_rack_.find(rack);
+  const std::int32_t placed =
+      placed_it == reduce_placed_by_rack_.end() ? 0 : placed_it->second;
+  return std::max(0, it->second - placed);
+}
+
+}  // namespace cosched

@@ -1,0 +1,108 @@
+// Runtime state of one map or reduce task.
+//
+// Lifecycle:
+//   map:    kPending -> kRunning (placed; computes immediately) -> kCompleted
+//   reduce: kPending -> kRunning (placed; occupies a container, waits for its
+//           shuffle data) -> compute begins (begin_compute) -> kCompleted
+//
+// A reduce task's container is held from placement until completion — this
+// is exactly the container-wastage effect the paper's Section IV-A targets.
+#pragma once
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace cosched {
+
+enum class TaskKind { kMap, kReduce };
+enum class TaskState { kPending, kRunning, kCompleted };
+
+class Task {
+ public:
+  Task(TaskId id, JobId job, TaskKind kind, std::int32_t index,
+       Duration compute_duration)
+      : id_(id),
+        job_(job),
+        kind_(kind),
+        index_(index),
+        compute_duration_(compute_duration) {}
+
+  [[nodiscard]] TaskId id() const { return id_; }
+  [[nodiscard]] JobId job() const { return job_; }
+  [[nodiscard]] TaskKind kind() const { return kind_; }
+  [[nodiscard]] std::int32_t index() const { return index_; }
+  [[nodiscard]] TaskState state() const { return state_; }
+  [[nodiscard]] Duration compute_duration() const { return compute_duration_; }
+
+  [[nodiscard]] RackId rack() const { return rack_; }
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] SimTime placed_at() const { return placed_at_; }
+  [[nodiscard]] SimTime compute_started_at() const {
+    return compute_started_at_;
+  }
+  [[nodiscard]] SimTime completed_at() const { return completed_at_; }
+  [[nodiscard]] bool compute_started() const { return compute_started_; }
+
+  /// Extra time a non-data-local map pays to read its block remotely.
+  [[nodiscard]] Duration read_penalty() const { return read_penalty_; }
+  void set_read_penalty(Duration d) { read_penalty_ = d; }
+
+  /// Total time the task occupies its container once computing.
+  [[nodiscard]] Duration run_duration() const {
+    return compute_duration_ + read_penalty_;
+  }
+
+  void place(RackId rack, NodeId node, SimTime now) {
+    COSCHED_CHECK(state_ == TaskState::kPending);
+    state_ = TaskState::kRunning;
+    rack_ = rack;
+    node_ = node;
+    placed_at_ = now;
+    if (kind_ == TaskKind::kMap) {
+      compute_started_ = true;
+      compute_started_at_ = now;
+    }
+  }
+
+  void begin_compute(SimTime now) {
+    COSCHED_CHECK(state_ == TaskState::kRunning);
+    COSCHED_CHECK(kind_ == TaskKind::kReduce);
+    COSCHED_CHECK(!compute_started_);
+    compute_started_ = true;
+    compute_started_at_ = now;
+  }
+
+  void complete(SimTime now) {
+    COSCHED_CHECK(state_ == TaskState::kRunning);
+    COSCHED_CHECK(compute_started_);
+    state_ = TaskState::kCompleted;
+    completed_at_ = now;
+  }
+
+  /// True remaining run time; only meaningful while computing.
+  [[nodiscard]] Duration true_remaining(SimTime now) const {
+    COSCHED_CHECK(compute_started_ && state_ == TaskState::kRunning);
+    const Duration elapsed = now - compute_started_at_;
+    const Duration total = run_duration();
+    return elapsed >= total ? Duration::zero() : total - elapsed;
+  }
+
+ private:
+  TaskId id_;
+  JobId job_;
+  TaskKind kind_;
+  std::int32_t index_;
+  Duration compute_duration_;
+  Duration read_penalty_ = Duration::zero();
+
+  TaskState state_ = TaskState::kPending;
+  RackId rack_ = RackId::invalid();
+  NodeId node_ = NodeId::invalid();
+  bool compute_started_ = false;
+  SimTime placed_at_ = SimTime::zero();
+  SimTime compute_started_at_ = SimTime::zero();
+  SimTime completed_at_ = SimTime::zero();
+};
+
+}  // namespace cosched

@@ -1,0 +1,45 @@
+// Optimal clearance of a traffic matrix over a circuit switch
+// (Inukai's SS/TDMA time-slot assignment [21], the algorithm the paper's
+// Section II-C cites to show the CCT lower bound is achievable).
+//
+// Given matrix C, pad it so that every row sum and column sum equals
+// T = max row/column sum, then repeatedly extract a perfect matching over
+// the positive entries (guaranteed to exist by Birkhoff–von-Neumann /
+// Hall's theorem) and run it for the minimum entry it covers. The real
+// (non-padding) entries drain in total transfer time exactly T / BW.
+#pragma once
+
+#include <vector>
+
+#include "coflow/matching.h"
+#include "coflow/traffic_matrix.h"
+#include "common/units.h"
+
+namespace cosched {
+
+/// One switch configuration: a set of simultaneous circuits held for
+/// `duration`. Only real (non-padding) circuits are listed.
+struct ClearanceSlot {
+  Duration duration;
+  std::vector<std::pair<RackId, RackId>> circuits;
+};
+
+struct ClearanceSchedule {
+  std::vector<ClearanceSlot> slots;
+
+  /// Pure transfer time (sum of slot durations, no reconfiguration delay).
+  [[nodiscard]] Duration transfer_time() const;
+
+  /// Wall-clock time if every slot boundary costs one reconfiguration
+  /// delay on all ports (all-stop accounting).
+  [[nodiscard]] Duration total_time(Duration reconfig_delay) const;
+};
+
+/// Decompose `matrix` into a clearance schedule at link rate `bw`.
+/// The returned schedule's transfer_time() equals
+/// max(max row sum, max col sum) / bw — the bandwidth component of the
+/// paper's CCT lower bound.
+[[nodiscard]] ClearanceSchedule bvn_clearance(const TrafficMatrix& matrix,
+                                              Bandwidth bw);
+
+}  // namespace cosched

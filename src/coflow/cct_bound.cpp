@@ -1,0 +1,28 @@
+#include "coflow/cct_bound.h"
+
+#include <algorithm>
+
+namespace cosched {
+
+Duration ocs_flow_time(DataSize size, Bandwidth bw, Duration delta) {
+  if (size.is_zero()) return Duration::zero();
+  return transfer_time(size, bw) + delta;
+}
+
+Duration cct_lower_bound(const TrafficMatrix& matrix, Bandwidth bw,
+                         Duration delta) {
+  Duration bound = Duration::zero();
+  for (RackId src : matrix.sources()) {
+    const Duration row = transfer_time(matrix.row_sum(src), bw) +
+                         delta * static_cast<double>(matrix.row_degree(src));
+    bound = std::max(bound, row);
+  }
+  for (RackId dst : matrix.destinations()) {
+    const Duration col = transfer_time(matrix.col_sum(dst), bw) +
+                         delta * static_cast<double>(matrix.col_degree(dst));
+    bound = std::max(bound, col);
+  }
+  return bound;
+}
+
+}  // namespace cosched

@@ -1,0 +1,24 @@
+// The Coflow-completion-time lower bound for OCS transfer
+// (Section II-C of the paper).
+//
+//   t_ij = C_ij / BW_OCS + delta          (C_ij > 0)
+//   T(C) = max( max_i sum_j t_ij , max_j sum_i t_ij )
+//
+// Each output (input) port can serve one circuit at a time and every flow
+// pays at least one reconfiguration, so no schedule can beat T(C).
+#pragma once
+
+#include "coflow/traffic_matrix.h"
+#include "common/units.h"
+
+namespace cosched {
+
+/// Minimum time to transfer a single flow of `size` over the OCS.
+[[nodiscard]] Duration ocs_flow_time(DataSize size, Bandwidth bw,
+                                     Duration delta);
+
+/// The lower bound T(C). Zero for an empty matrix.
+[[nodiscard]] Duration cct_lower_bound(const TrafficMatrix& matrix,
+                                       Bandwidth bw, Duration delta);
+
+}  // namespace cosched

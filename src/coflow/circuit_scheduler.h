@@ -1,0 +1,43 @@
+// Interface for OCS circuit schedulers (Sunflow is the one the paper uses).
+//
+// The job-scheduling layer routes each elephant flow here; the circuit
+// scheduler decides when each flow gets a circuit. Flows are grouped by
+// their Coflow so schedulers can prioritize whole coflows.
+#pragma once
+
+#include <functional>
+
+#include "coflow/coflow.h"
+#include "net/flow.h"
+
+namespace cosched {
+
+class CircuitScheduler {
+ public:
+  using FlowCallback = std::function<void(Flow&)>;
+
+  virtual ~CircuitScheduler() = default;
+
+  /// Hand one OCS-bound flow of `coflow` to the scheduler. May be called
+  /// repeatedly for the same coflow as more of its flows materialize.
+  virtual void submit(Coflow& coflow, Flow& flow) = 0;
+
+  /// The demand of an already-submitted flow grew.
+  virtual void demand_added(Flow& flow) = 0;
+
+  /// Invoked exactly once per flow when it finishes draining.
+  void set_on_flow_complete(FlowCallback cb) { on_flow_complete_ = std::move(cb); }
+
+  /// Flows currently waiting for a circuit (diagnostics).
+  [[nodiscard]] virtual std::size_t pending_flows() const = 0;
+
+ protected:
+  void notify_flow_complete(Flow& flow) {
+    if (on_flow_complete_) on_flow_complete_(flow);
+  }
+
+ private:
+  FlowCallback on_flow_complete_;
+};
+
+}  // namespace cosched

@@ -1,0 +1,47 @@
+// Maximum bipartite matching (Hopcroft–Karp).
+//
+// Substrate for the Birkhoff–von-Neumann / Inukai clearance decomposition:
+// each circuit configuration of the OCS is a matching between output ports
+// and input ports, and the clearance algorithm repeatedly extracts perfect
+// matchings from the positive entries of a (padded) traffic matrix.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cosched {
+
+/// Bipartite graph with `num_left` left vertices and `num_right` right
+/// vertices, addressed by dense indices.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(std::size_t num_left, std::size_t num_right);
+
+  void add_edge(std::size_t left, std::size_t right);
+
+  [[nodiscard]] std::size_t num_left() const { return adj_.size(); }
+  [[nodiscard]] std::size_t num_right() const { return num_right_; }
+  [[nodiscard]] const std::vector<std::size_t>& neighbors(
+      std::size_t left) const {
+    return adj_[left];
+  }
+
+ private:
+  std::vector<std::vector<std::size_t>> adj_;
+  std::size_t num_right_;
+};
+
+/// Result of a maximum matching: match_left[l] = matched right vertex or
+/// kUnmatched; likewise match_right.
+struct MatchingResult {
+  static constexpr std::size_t kUnmatched = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> match_left;
+  std::vector<std::size_t> match_right;
+  std::size_t size = 0;
+};
+
+/// Hopcroft–Karp: O(E * sqrt(V)).
+[[nodiscard]] MatchingResult maximum_bipartite_matching(
+    const BipartiteGraph& graph);
+
+}  // namespace cosched

@@ -1,0 +1,198 @@
+#include "coflow/sunflow.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "coflow/matching.h"
+#include "common/check.h"
+#include "common/log.h"
+
+namespace cosched {
+
+SunflowScheduler::SunflowScheduler(Simulator& sim, Network& net)
+    : sim_(sim), net_(net) {}
+
+void SunflowScheduler::submit(Coflow& coflow, Flow& flow) {
+  COSCHED_CHECK(flow.path() == FlowPath::kOcs);
+  COSCHED_CHECK_MSG(flow.src() != flow.dst(),
+                    "intra-rack flow routed to the OCS");
+  auto it = entries_.find(coflow.id());
+  if (it == entries_.end()) {
+    CoflowEntry entry;
+    entry.coflow = &coflow;
+    entry.priority_sec =
+        coflow.lower_bound(net_.ocs().link_rate(), net_.ocs().reconfig_delay())
+            .sec();
+    it = entries_.emplace(coflow.id(), std::move(entry)).first;
+    // Keep `order_` sorted by (priority, id): stable, deterministic.
+    auto pos = std::find_if(order_.begin(), order_.end(), [&](CoflowId id) {
+      const CoflowEntry& e = entries_.at(id);
+      return e.priority_sec > it->second.priority_sec ||
+             (e.priority_sec == it->second.priority_sec && id > coflow.id());
+    });
+    order_.insert(pos, coflow.id());
+  }
+  it->second.pending.push_back(&flow);
+  request_allocation_pass();
+}
+
+void SunflowScheduler::demand_added(Flow& flow) {
+  auto it = active_.find(flow.id());
+  if (it == active_.end()) {
+    return;  // still pending; the grown size is picked up at circuit setup
+  }
+  ActiveTransfer& at = it->second;
+  if (at.state == TransferState::kReconfiguring) {
+    return;  // size grows before the transfer begins; nothing to re-plan
+  }
+  // Settle what has drained so far, then re-plan the completion event.
+  flow.settle(sim_.now() - at.last_update);
+  at.last_update = sim_.now();
+  flow.completion_event().cancel();
+  const Duration eta = Duration::seconds(
+      flow.remaining_bits() / net_.ocs().link_rate().in_bits_per_sec());
+  FlowId id = flow.id();
+  flow.completion_event() =
+      sim_.schedule_after(eta, [this, id] { on_transfer_complete(id); });
+}
+
+std::size_t SunflowScheduler::pending_flows() const {
+  std::size_t n = 0;
+  for (const auto& [id, entry] : entries_) n += entry.pending.size();
+  return n;
+}
+
+void SunflowScheduler::request_allocation_pass() {
+  if (pass_scheduled_) return;
+  pass_scheduled_ = true;
+  sim_.schedule_after(Duration::zero(), [this] {
+    pass_scheduled_ = false;
+    allocation_pass();
+  });
+}
+
+void SunflowScheduler::allocation_pass() {
+  // Ports that a higher-priority coflow still needs (pending demand it
+  // could not start this pass) are *reserved*: a lower-priority coflow may
+  // not take them even if they are momentarily free. Without this, a long
+  // low-priority transfer can slip onto a port during the few milliseconds
+  // the head coflow spends waiting for its matching port to reconfigure,
+  // inverting Sunflow's shortest-coflow-first order.
+  std::set<RackId> reserved_out;
+  std::set<RackId> reserved_in;
+  for (CoflowId cid : order_) {
+    CoflowEntry& entry = entries_.at(cid);
+    if (entry.pending.empty()) continue;
+
+    // Give this coflow as many circuits as its pending flows can use on the
+    // currently-free ports: a maximum bipartite matching between free
+    // source output ports and free destination input ports. This is what
+    // lets an all-to-all shuffle use rotations of simultaneous circuits
+    // instead of serializing (Goal-2 / Figure 2 of the paper).
+    std::vector<RackId> srcs;
+    std::vector<RackId> dsts;
+    std::map<RackId, std::size_t> src_idx;
+    std::map<RackId, std::size_t> dst_idx;
+    for (Flow* f : entry.pending) {
+      if (!net_.ocs().out_port_free(f->src()) ||
+          !net_.ocs().in_port_free(f->dst()) ||
+          reserved_out.count(f->src()) > 0 ||
+          reserved_in.count(f->dst()) > 0) {
+        continue;
+      }
+      if (src_idx.emplace(f->src(), srcs.size()).second) {
+        srcs.push_back(f->src());
+      }
+      if (dst_idx.emplace(f->dst(), dsts.size()).second) {
+        dsts.push_back(f->dst());
+      }
+    }
+    if (srcs.empty() || dsts.empty()) {
+      for (Flow* f : entry.pending) {
+        reserved_out.insert(f->src());
+        reserved_in.insert(f->dst());
+      }
+      continue;
+    }
+
+    // Flows are aggregated per rack pair within a coflow, so at most one
+    // pending flow exists per (src, dst) edge.
+    std::map<std::pair<RackId, RackId>, Flow*> edge_flow;
+    BipartiteGraph graph(srcs.size(), dsts.size());
+    // Deterministic edge order: sort pending by (src, dst).
+    std::sort(entry.pending.begin(), entry.pending.end(),
+              [](const Flow* a, const Flow* b) {
+                return std::make_pair(a->src(), a->dst()) <
+                       std::make_pair(b->src(), b->dst());
+              });
+    for (Flow* f : entry.pending) {
+      auto si = src_idx.find(f->src());
+      auto di = dst_idx.find(f->dst());
+      if (si == src_idx.end() || di == dst_idx.end()) continue;
+      graph.add_edge(si->second, di->second);
+      edge_flow[{f->src(), f->dst()}] = f;
+    }
+    const MatchingResult match = maximum_bipartite_matching(graph);
+
+    for (std::size_t i = 0; i < srcs.size(); ++i) {
+      const std::size_t j = match.match_left[i];
+      if (j == MatchingResult::kUnmatched) continue;
+      Flow* flow = edge_flow.at({srcs[i], dsts[j]});
+      entry.pending.erase(
+          std::remove(entry.pending.begin(), entry.pending.end(), flow),
+          entry.pending.end());
+      active_.emplace(flow->id(),
+                      ActiveTransfer{flow, TransferState::kReconfiguring,
+                                     sim_.now()});
+      FlowId id = flow->id();
+      net_.ocs().setup_circuit(flow->src(), flow->dst(),
+                               [this, id] { start_transfer(id); });
+    }
+    // Whatever this coflow could not start keeps its ports reserved
+    // against lower-priority coflows.
+    for (Flow* f : entry.pending) {
+      reserved_out.insert(f->src());
+      reserved_in.insert(f->dst());
+    }
+  }
+}
+
+void SunflowScheduler::start_transfer(FlowId id) {
+  auto it = active_.find(id);
+  COSCHED_CHECK(it != active_.end());
+  ActiveTransfer& at = it->second;
+  Flow& flow = *at.flow;
+  at.state = TransferState::kTransferring;
+  at.last_update = sim_.now();
+  flow.mark_started(sim_.now());
+  flow.set_rate(net_.ocs().link_rate());
+  const Duration eta = Duration::seconds(
+      flow.remaining_bits() / net_.ocs().link_rate().in_bits_per_sec());
+  flow.completion_event() =
+      sim_.schedule_after(eta, [this, id] { on_transfer_complete(id); });
+}
+
+void SunflowScheduler::on_transfer_complete(FlowId id) {
+  auto it = active_.find(id);
+  if (it == active_.end()) return;
+  Flow& flow = *it->second.flow;
+  net_.ocs().teardown_circuit(flow.src(), flow.dst());
+  net_.note_ocs_bytes(flow.size());
+  flow.mark_completed(sim_.now());
+  active_.erase(it);
+
+  // Drop empty coflow entries so `order_` stays short.
+  auto eit = entries_.find(flow.coflow());
+  if (eit != entries_.end() && eit->second.pending.empty() &&
+      eit->second.coflow->all_flows_complete()) {
+    order_.erase(std::remove(order_.begin(), order_.end(), flow.coflow()),
+                 order_.end());
+    entries_.erase(eit);
+  }
+
+  notify_flow_complete(flow);
+  request_allocation_pass();
+}
+
+}  // namespace cosched

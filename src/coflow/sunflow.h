@@ -1,0 +1,64 @@
+// Sunflow [18]: shortest-coflow-first, non-preemptive circuit scheduling.
+//
+// Coflows are prioritized by their CCT lower bound T(C), computed when the
+// coflow is first submitted (smaller bound = higher priority). An
+// allocation pass walks coflows in priority order and, for every pending
+// flow whose source output port and destination input port are both free,
+// sets up a circuit. A circuit is held non-preemptively until its flow
+// drains; reconfiguration stalls only the two ports involved
+// (not-all-stop). Lower-priority coflows may use ports the higher-priority
+// coflows leave idle (work conservation).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "coflow/circuit_scheduler.h"
+#include "net/network.h"
+#include "simcore/simulator.h"
+
+namespace cosched {
+
+class SunflowScheduler : public CircuitScheduler {
+ public:
+  SunflowScheduler(Simulator& sim, Network& net);
+
+  void submit(Coflow& coflow, Flow& flow) override;
+  void demand_added(Flow& flow) override;
+  [[nodiscard]] std::size_t pending_flows() const override;
+
+  /// Transfers currently holding a circuit (diagnostics).
+  [[nodiscard]] std::size_t active_transfers() const {
+    return active_.size();
+  }
+
+ private:
+  enum class TransferState { kReconfiguring, kTransferring };
+
+  struct ActiveTransfer {
+    Flow* flow;
+    TransferState state = TransferState::kReconfiguring;
+    SimTime last_update = SimTime::zero();
+  };
+
+  struct CoflowEntry {
+    Coflow* coflow;
+    double priority_sec;  // T(C) at first submit; smaller = higher priority
+    std::vector<Flow*> pending;
+  };
+
+  void request_allocation_pass();
+  void allocation_pass();
+  void start_transfer(FlowId id);
+  void on_transfer_complete(FlowId id);
+
+  Simulator& sim_;
+  Network& net_;
+  std::map<CoflowId, CoflowEntry> entries_;
+  /// Coflow ids in priority order (priority, id) — deterministic.
+  std::vector<CoflowId> order_;
+  std::map<FlowId, ActiveTransfer> active_;
+  bool pass_scheduled_ = false;
+};
+
+}  // namespace cosched

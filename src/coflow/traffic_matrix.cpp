@@ -1,0 +1,71 @@
+#include "coflow/traffic_matrix.h"
+
+#include <set>
+
+#include "common/check.h"
+
+namespace cosched {
+
+void TrafficMatrix::add(RackId src, RackId dst, DataSize size) {
+  COSCHED_CHECK(src.valid() && dst.valid());
+  COSCHED_CHECK(size >= DataSize::zero());
+  if (size.is_zero()) return;
+  entries_[{src, dst}] += size;
+}
+
+DataSize TrafficMatrix::at(RackId src, RackId dst) const {
+  auto it = entries_.find({src, dst});
+  return it == entries_.end() ? DataSize::zero() : it->second;
+}
+
+DataSize TrafficMatrix::total() const {
+  DataSize t = DataSize::zero();
+  for (const auto& [key, size] : entries_) t += size;
+  return t;
+}
+
+DataSize TrafficMatrix::row_sum(RackId src) const {
+  DataSize t = DataSize::zero();
+  for (const auto& [key, size] : entries_) {
+    if (key.first == src) t += size;
+  }
+  return t;
+}
+
+DataSize TrafficMatrix::col_sum(RackId dst) const {
+  DataSize t = DataSize::zero();
+  for (const auto& [key, size] : entries_) {
+    if (key.second == dst) t += size;
+  }
+  return t;
+}
+
+std::size_t TrafficMatrix::row_degree(RackId src) const {
+  std::size_t n = 0;
+  for (const auto& [key, size] : entries_) {
+    if (key.first == src) ++n;
+  }
+  return n;
+}
+
+std::size_t TrafficMatrix::col_degree(RackId dst) const {
+  std::size_t n = 0;
+  for (const auto& [key, size] : entries_) {
+    if (key.second == dst) ++n;
+  }
+  return n;
+}
+
+std::vector<RackId> TrafficMatrix::sources() const {
+  std::set<RackId> s;
+  for (const auto& [key, size] : entries_) s.insert(key.first);
+  return {s.begin(), s.end()};
+}
+
+std::vector<RackId> TrafficMatrix::destinations() const {
+  std::set<RackId> s;
+  for (const auto& [key, size] : entries_) s.insert(key.second);
+  return {s.begin(), s.end()};
+}
+
+}  // namespace cosched

@@ -1,0 +1,46 @@
+// Sparse rack-to-rack traffic matrix C = (C_ij) describing one Coflow.
+//
+// Entries are keyed (source rack, destination rack); iteration order is
+// deterministic (std::map). Only cross-rack demand belongs in the matrix —
+// intra-rack bytes never touch the OCS and are excluded by callers.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace cosched {
+
+class TrafficMatrix {
+ public:
+  using Key = std::pair<RackId, RackId>;
+  using EntryMap = std::map<Key, DataSize>;
+
+  /// Add demand from src to dst (accumulates into an existing entry).
+  void add(RackId src, RackId dst, DataSize size);
+
+  [[nodiscard]] DataSize at(RackId src, RackId dst) const;
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t num_entries() const { return entries_.size(); }
+  [[nodiscard]] DataSize total() const;
+
+  [[nodiscard]] DataSize row_sum(RackId src) const;
+  [[nodiscard]] DataSize col_sum(RackId dst) const;
+  [[nodiscard]] std::size_t row_degree(RackId src) const;
+  [[nodiscard]] std::size_t col_degree(RackId dst) const;
+
+  /// Distinct source racks, ascending.
+  [[nodiscard]] std::vector<RackId> sources() const;
+  /// Distinct destination racks, ascending.
+  [[nodiscard]] std::vector<RackId> destinations() const;
+
+  [[nodiscard]] const EntryMap& entries() const { return entries_; }
+
+ private:
+  EntryMap entries_;
+};
+
+}  // namespace cosched

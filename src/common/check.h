@@ -1,0 +1,55 @@
+// Lightweight precondition / invariant checking.
+//
+// COSCHED_CHECK is always on (simulation correctness depends on it and the
+// cost is negligible next to the event loop); COSCHED_DCHECK compiles out in
+// release builds for hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cosched {
+
+/// Thrown when a COSCHED_CHECK fails. Carries file/line context.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace detail
+}  // namespace cosched
+
+#define COSCHED_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::cosched::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define COSCHED_CHECK_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream cosched_check_os;                               \
+      cosched_check_os << msg;                                           \
+      ::cosched::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                      cosched_check_os.str());           \
+    }                                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define COSCHED_DCHECK(expr) \
+  do {                       \
+  } while (0)
+#else
+#define COSCHED_DCHECK(expr) COSCHED_CHECK(expr)
+#endif

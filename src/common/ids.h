@@ -1,0 +1,96 @@
+// Strongly typed integer identifiers.
+//
+// Every entity in the simulator (rack, node, job, task, flow, ...) is named
+// by a distinct ID type so that a RackId cannot be passed where a JobId is
+// expected. IDs are trivially copyable, hashable, and ordered.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace cosched {
+
+/// CRTP-free strong integer id. `Tag` distinguishes unrelated id spaces.
+template <typename Tag>
+class StrongId {
+ public:
+  using value_type = std::int64_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ >= 0; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(StrongId a, StrongId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(StrongId a, StrongId b) {
+    return a.value_ < b.value_;
+  }
+  friend constexpr bool operator>(StrongId a, StrongId b) {
+    return a.value_ > b.value_;
+  }
+  friend constexpr bool operator<=(StrongId a, StrongId b) {
+    return a.value_ <= b.value_;
+  }
+  friend constexpr bool operator>=(StrongId a, StrongId b) {
+    return a.value_ >= b.value_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.value_;
+  }
+
+  /// Sentinel for "no id".
+  static constexpr StrongId invalid() { return StrongId{-1}; }
+
+ private:
+  value_type value_ = -1;
+};
+
+struct RackTag {};
+struct NodeTag {};
+struct JobTag {};
+struct TaskTag {};
+struct FlowTag {};
+struct UserTag {};
+struct CoflowTag {};
+struct BlockTag {};
+struct ContainerTag {};
+
+using RackId = StrongId<RackTag>;
+using NodeId = StrongId<NodeTag>;
+using JobId = StrongId<JobTag>;
+using TaskId = StrongId<TaskTag>;
+using FlowId = StrongId<FlowTag>;
+using UserId = StrongId<UserTag>;
+using CoflowId = StrongId<CoflowTag>;
+using BlockId = StrongId<BlockTag>;
+using ContainerId = StrongId<ContainerTag>;
+
+/// Monotonic id generator; one per id space per simulation run.
+template <typename Id>
+class IdAllocator {
+ public:
+  Id next() { return Id{next_++}; }
+  [[nodiscard]] std::int64_t allocated() const { return next_; }
+
+ private:
+  std::int64_t next_ = 0;
+};
+
+}  // namespace cosched
+
+namespace std {
+template <typename Tag>
+struct hash<cosched::StrongId<Tag>> {
+  size_t operator()(cosched::StrongId<Tag> id) const noexcept {
+    return std::hash<std::int64_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,49 @@
+#include "common/log.h"
+
+#include <iostream>
+
+namespace cosched {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+Log::Sink g_sink;  // empty = default stderr sink
+
+void default_sink(LogLevel level, const std::string& message) {
+  std::cerr << "[" << Log::level_name(level) << "] " << message << "\n";
+}
+
+}  // namespace
+
+LogLevel Log::level() { return g_level; }
+void Log::set_level(LogLevel level) { g_level = level; }
+void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
+void Log::reset_sink() { g_sink = nullptr; }
+
+void Log::write(LogLevel level, const std::string& message) {
+  if (level < g_level) return;
+  if (g_sink) {
+    g_sink(level, message);
+  } else {
+    default_sink(level, message);
+  }
+}
+
+const char* Log::level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace cosched

@@ -1,0 +1,62 @@
+// Minimal leveled logger.
+//
+// The simulator is a library, so logging goes through one injectable sink.
+// Default sink writes to stderr; tests install a capturing sink. Level is a
+// process-wide atomic — deliberately simple, since the simulator itself is
+// single-threaded and logging is debug-only tooling.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace cosched {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log configuration. Not thread-safe by design (see header comment).
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  static void set_sink(Sink sink);
+  static void reset_sink();
+
+  static void write(LogLevel level, const std::string& message);
+  static const char* level_name(LogLevel level);
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace cosched
+
+#define COSCHED_LOG(lvl)                             \
+  if (::cosched::Log::level() <= ::cosched::LogLevel::lvl) \
+  ::cosched::detail::LogLine(::cosched::LogLevel::lvl)
+
+#define COSCHED_TRACE() COSCHED_LOG(kTrace)
+#define COSCHED_DEBUG() COSCHED_LOG(kDebug)
+#define COSCHED_INFO() COSCHED_LOG(kInfo)
+#define COSCHED_WARN() COSCHED_LOG(kWarn)
+#define COSCHED_ERROR() COSCHED_LOG(kError)

@@ -1,0 +1,90 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace cosched {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  COSCHED_CHECK(lo <= hi);
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Lemire's unbiased bounded sampling (rejection on the low word).
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * range;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < range) {
+    const std::uint64_t threshold = (0 - range) % range;
+    while (low < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * range;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::int64_t>(m >> 64);
+}
+
+double Rng::exponential(double mean) {
+  COSCHED_CHECK(mean > 0.0);
+  double u;
+  do {
+    u = uniform01();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mu, double sigma) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mu + sigma * cached_normal_;
+  }
+  double u1;
+  do {
+    u1 = uniform01();
+  } while (u1 <= 0.0);
+  const double u2 = uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mu + sigma * r * std::cos(theta);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+std::int64_t Rng::zipf(std::int64_t n, double s) {
+  COSCHED_CHECK(n >= 1);
+  COSCHED_CHECK(s > 0.0);
+  // Inverse-CDF over the (small) support; n is at most a few thousand in
+  // our workloads so the O(n) normalization is fine and exact.
+  double norm = 0.0;
+  for (std::int64_t k = 1; k <= n; ++k) norm += 1.0 / std::pow(k, s);
+  double u = uniform01() * norm;
+  for (std::int64_t k = 1; k <= n; ++k) {
+    u -= 1.0 / std::pow(k, s);
+    if (u <= 0.0) return k;
+  }
+  return n;
+}
+
+std::vector<std::int64_t> Rng::sample_without_replacement(std::int64_t n,
+                                                          std::int64_t k) {
+  COSCHED_CHECK(k >= 0);
+  COSCHED_CHECK(k <= n);
+  std::vector<std::int64_t> pool(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) pool[static_cast<std::size_t>(i)] = i;
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(k));
+  for (std::int64_t i = 0; i < k; ++i) {
+    const std::int64_t j = uniform_int(i, n - 1);
+    std::swap(pool[static_cast<std::size_t>(i)],
+              pool[static_cast<std::size_t>(j)]);
+    out.push_back(pool[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+}  // namespace cosched

@@ -1,0 +1,125 @@
+// Deterministic random number generation.
+//
+// The simulator must be bit-for-bit reproducible across platforms and
+// standard-library implementations, so we do not use std::<distribution>
+// (whose algorithms are unspecified). Instead we implement xoshiro256**
+// seeded through SplitMix64, plus the handful of distributions the workload
+// generator needs (uniform, exponential, log-normal via Box–Muller, Zipf).
+//
+// Every run owns exactly one root Rng; sub-streams for repetitions are
+// derived with `fork(stream_id)` so adding a consumer never perturbs others.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cosched {
+
+/// SplitMix64 — used only to expand seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 with derived distribution helpers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  /// UniformRandomBitGenerator interface (usable with std::shuffle).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derive an independent stream. Deterministic in (this seed, stream_id).
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const {
+    SplitMix64 sm(state_[0] ^ (0xa5a5a5a5a5a5a5a5ULL + stream_id));
+    return Rng(sm.next() ^ (stream_id * 0x9e3779b97f4a7c15ULL));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    COSCHED_DCHECK(lo <= hi);
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli with probability p of true.
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Exponential with given mean (mean = 1/lambda).
+  double exponential(double mean);
+
+  /// Standard normal via Box–Muller (one value per call; cached pair).
+  double normal(double mu = 0.0, double sigma = 1.0);
+
+  /// Log-normal: exp(N(mu, sigma)). Parameters are of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Zipf-like rank sampling over [1, n] with exponent s (s > 0).
+  /// Used for heavy-tailed job size classes.
+  std::int64_t zipf(std::int64_t n, double s);
+
+  /// Sample k distinct values uniformly from [0, n). O(n) reservoir-free
+  /// partial Fisher–Yates.
+  std::vector<std::int64_t> sample_without_replacement(std::int64_t n,
+                                                       std::int64_t k);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::int64_t i = static_cast<std::int64_t>(v.size()) - 1; i > 0;
+         --i) {
+      const std::int64_t j = uniform_int(0, i);
+      using std::swap;
+      swap(v[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(j)]);
+    }
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace cosched

@@ -1,0 +1,259 @@
+// Physical units used throughout the simulator.
+//
+// Three quantities appear everywhere: simulated time, data size, and link
+// bandwidth. Each gets a small strongly-typed value class so that, e.g., a
+// number of bytes can never be silently used as a number of seconds. All
+// arithmetic that makes dimensional sense is provided; anything else is a
+// compile error.
+//
+//   SimTime   — absolute simulated time (seconds since simulation start)
+//   Duration  — difference of two SimTimes
+//   DataSize  — bytes (64-bit; exabytes of headroom)
+//   Bandwidth — bits per second (double)
+//
+// DataSize / Bandwidth = Duration, Bandwidth * Duration = DataSize.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace cosched {
+
+/// A span of simulated time, in seconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration seconds(double s) {
+    return Duration{s};
+  }
+  [[nodiscard]] static constexpr Duration milliseconds(double ms) {
+    return Duration{ms / 1e3};
+  }
+  [[nodiscard]] static constexpr Duration microseconds(double us) {
+    return Duration{us / 1e6};
+  }
+  [[nodiscard]] static constexpr Duration minutes(double m) {
+    return Duration{m * 60.0};
+  }
+  [[nodiscard]] static constexpr Duration hours(double h) {
+    return Duration{h * 3600.0};
+  }
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0.0}; }
+  [[nodiscard]] static constexpr Duration infinity() {
+    return Duration{std::numeric_limits<double>::infinity()};
+  }
+
+  [[nodiscard]] constexpr double sec() const { return sec_; }
+  [[nodiscard]] constexpr double millis() const { return sec_ * 1e3; }
+  [[nodiscard]] constexpr bool is_finite() const {
+    return std::isfinite(sec_);
+  }
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.sec_ + b.sec_};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration{a.sec_ - b.sec_};
+  }
+  friend constexpr Duration operator*(Duration a, double k) {
+    return Duration{a.sec_ * k};
+  }
+  friend constexpr Duration operator*(double k, Duration a) {
+    return Duration{a.sec_ * k};
+  }
+  friend constexpr Duration operator/(Duration a, double k) {
+    return Duration{a.sec_ / k};
+  }
+  friend constexpr double operator/(Duration a, Duration b) {
+    return a.sec_ / b.sec_;
+  }
+  constexpr Duration& operator+=(Duration o) {
+    sec_ += o.sec_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    sec_ -= o.sec_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(Duration a, Duration b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Duration d) {
+    return os << d.sec_ << "s";
+  }
+
+ private:
+  constexpr explicit Duration(double s) : sec_(s) {}
+  double sec_ = 0.0;
+};
+
+/// An absolute point in simulated time.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0.0}; }
+  [[nodiscard]] static constexpr SimTime seconds(double s) {
+    return SimTime{s};
+  }
+  [[nodiscard]] static constexpr SimTime infinity() {
+    return SimTime{std::numeric_limits<double>::infinity()};
+  }
+
+  [[nodiscard]] constexpr double sec() const { return sec_; }
+  [[nodiscard]] constexpr bool is_finite() const {
+    return std::isfinite(sec_);
+  }
+
+  friend constexpr SimTime operator+(SimTime t, Duration d) {
+    return SimTime{t.sec_ + d.sec()};
+  }
+  friend constexpr SimTime operator+(Duration d, SimTime t) { return t + d; }
+  friend constexpr SimTime operator-(SimTime t, Duration d) {
+    return SimTime{t.sec_ - d.sec()};
+  }
+  friend constexpr Duration operator-(SimTime a, SimTime b) {
+    return Duration::seconds(a.sec_ - b.sec_);
+  }
+  constexpr SimTime& operator+=(Duration d) {
+    sec_ += d.sec();
+    return *this;
+  }
+  friend constexpr auto operator<=>(SimTime a, SimTime b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << "t=" << t.sec_ << "s";
+  }
+
+ private:
+  constexpr explicit SimTime(double s) : sec_(s) {}
+  double sec_ = 0.0;
+};
+
+/// A quantity of data, in bytes.
+class DataSize {
+ public:
+  constexpr DataSize() = default;
+
+  [[nodiscard]] static constexpr DataSize bytes(std::int64_t b) {
+    return DataSize{b};
+  }
+  [[nodiscard]] static constexpr DataSize kilobytes(double kb) {
+    return DataSize{static_cast<std::int64_t>(kb * 1e3)};
+  }
+  [[nodiscard]] static constexpr DataSize megabytes(double mb) {
+    return DataSize{static_cast<std::int64_t>(mb * 1e6)};
+  }
+  [[nodiscard]] static constexpr DataSize gigabytes(double gb) {
+    return DataSize{static_cast<std::int64_t>(gb * 1e9)};
+  }
+  [[nodiscard]] static constexpr DataSize zero() { return DataSize{0}; }
+
+  [[nodiscard]] constexpr std::int64_t in_bytes() const { return bytes_; }
+  [[nodiscard]] constexpr double in_gigabytes() const {
+    return static_cast<double>(bytes_) / 1e9;
+  }
+  [[nodiscard]] constexpr bool is_zero() const { return bytes_ == 0; }
+
+  friend constexpr DataSize operator+(DataSize a, DataSize b) {
+    return DataSize{a.bytes_ + b.bytes_};
+  }
+  friend constexpr DataSize operator-(DataSize a, DataSize b) {
+    return DataSize{a.bytes_ - b.bytes_};
+  }
+  friend DataSize operator*(DataSize a, double k) {
+    return DataSize{std::llround(static_cast<double>(a.bytes_) * k)};
+  }
+  friend DataSize operator*(double k, DataSize a) { return a * k; }
+  friend constexpr double operator/(DataSize a, DataSize b) {
+    return static_cast<double>(a.bytes_) / static_cast<double>(b.bytes_);
+  }
+  friend constexpr DataSize operator/(DataSize a, std::int64_t k) {
+    return DataSize{a.bytes_ / k};
+  }
+  constexpr DataSize& operator+=(DataSize o) {
+    bytes_ += o.bytes_;
+    return *this;
+  }
+  constexpr DataSize& operator-=(DataSize o) {
+    bytes_ -= o.bytes_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(DataSize a, DataSize b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, DataSize d) {
+    return os << d.in_gigabytes() << "GB";
+  }
+
+ private:
+  constexpr explicit DataSize(std::int64_t b) : bytes_(b) {}
+  std::int64_t bytes_ = 0;
+};
+
+/// Link bandwidth, in bits per second.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+
+  [[nodiscard]] static constexpr Bandwidth bits_per_sec(double bps) {
+    return Bandwidth{bps};
+  }
+  [[nodiscard]] static constexpr Bandwidth gbps(double g) {
+    return Bandwidth{g * 1e9};
+  }
+  [[nodiscard]] static constexpr Bandwidth mbps(double m) {
+    return Bandwidth{m * 1e6};
+  }
+  [[nodiscard]] static constexpr Bandwidth zero() { return Bandwidth{0.0}; }
+
+  [[nodiscard]] constexpr double in_bits_per_sec() const { return bps_; }
+  [[nodiscard]] constexpr double in_gbps() const { return bps_ / 1e9; }
+  [[nodiscard]] constexpr bool is_zero() const { return bps_ == 0.0; }
+
+  friend constexpr Bandwidth operator+(Bandwidth a, Bandwidth b) {
+    return Bandwidth{a.bps_ + b.bps_};
+  }
+  friend constexpr Bandwidth operator-(Bandwidth a, Bandwidth b) {
+    return Bandwidth{a.bps_ - b.bps_};
+  }
+  friend constexpr Bandwidth operator*(Bandwidth a, double k) {
+    return Bandwidth{a.bps_ * k};
+  }
+  friend constexpr Bandwidth operator*(double k, Bandwidth a) { return a * k; }
+  friend constexpr Bandwidth operator/(Bandwidth a, double k) {
+    return Bandwidth{a.bps_ / k};
+  }
+  friend constexpr double operator/(Bandwidth a, Bandwidth b) {
+    return a.bps_ / b.bps_;
+  }
+  friend constexpr auto operator<=>(Bandwidth a, Bandwidth b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Bandwidth b) {
+    return os << b.in_gbps() << "Gbps";
+  }
+
+ private:
+  constexpr explicit Bandwidth(double bps) : bps_(bps) {}
+  double bps_ = 0.0;
+};
+
+/// Time to push `size` through a link of rate `bw`.
+[[nodiscard]] inline Duration transfer_time(DataSize size, Bandwidth bw) {
+  COSCHED_CHECK_MSG(bw.in_bits_per_sec() > 0.0,
+                    "transfer over zero-bandwidth link");
+  return Duration::seconds(static_cast<double>(size.in_bytes()) * 8.0 /
+                           bw.in_bits_per_sec());
+}
+
+/// Data moved by a link of rate `bw` in time `d` (rounded down to bytes).
+[[nodiscard]] inline DataSize data_transferred(Bandwidth bw, Duration d) {
+  return DataSize::bytes(static_cast<std::int64_t>(
+      bw.in_bits_per_sec() * d.sec() / 8.0));
+}
+
+}  // namespace cosched

@@ -1,0 +1,221 @@
+#include "net/eps_fabric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/log.h"
+
+namespace cosched {
+
+namespace {
+
+// Completion is declared when fewer than this many bits remain; guards
+// against floating-point residue keeping a drained flow alive.
+constexpr double kResidualBits = 1e-3;
+
+// Rate recomputations triggered within this window of the previous one are
+// coalesced into a single deferred pass. Rates are then stale by at most
+// this long — negligible against multi-second EPS transfers, and a large
+// constant-factor win when thousands of flows churn.
+constexpr Duration kReplanInterval = Duration::milliseconds(100);
+
+}  // namespace
+
+EpsFabric::EpsFabric(Simulator& sim, const HybridTopology& topo)
+    : sim_(sim), topo_(topo) {
+  topo_.validate();
+}
+
+void EpsFabric::start_flow(Flow& flow, CompletionCallback on_complete) {
+  COSCHED_CHECK_MSG(!flow.completed(), "flow " << flow.id() << " already done");
+  COSCHED_CHECK(flow.path() == FlowPath::kEps ||
+                flow.path() == FlowPath::kLocal);
+  flow.mark_started(sim_.now());
+  flow.set_rate(Bandwidth::zero());
+  active_.emplace(flow.id(),
+                  ActiveFlow{&flow, std::move(on_complete), sim_.now()});
+  if (flow.remaining_bits() <= kResidualBits) {
+    // Zero-byte flow: complete immediately (still asynchronously, so the
+    // caller's state machine sees a uniform event ordering).
+    FlowId id = flow.id();
+    sim_.schedule_after(Duration::zero(), [this, id] {
+      on_completion_event(id);
+    });
+    return;
+  }
+  request_replan();
+}
+
+void EpsFabric::demand_added(Flow& flow) {
+  auto it = active_.find(flow.id());
+  if (it != active_.end()) settle_flow(it->second);
+  request_replan();
+}
+
+void EpsFabric::request_replan() {
+  if (replan_scheduled_) return;
+  replan_scheduled_ = true;
+  const SimTime due = std::max(sim_.now(), last_replan_ + kReplanInterval);
+  sim_.schedule_at(due, [this] {
+    replan_scheduled_ = false;
+    recompute_and_replan();
+  });
+}
+
+void EpsFabric::settle_flow(ActiveFlow& af) {
+  const Duration elapsed = sim_.now() - af.last_settle;
+  af.last_settle = sim_.now();
+  if (elapsed <= Duration::zero()) return;
+  const double moved_bits = af.flow->settle(elapsed);
+  const auto moved =
+      DataSize::bytes(static_cast<std::int64_t>(moved_bits / 8.0));
+  if (af.flow->path() == FlowPath::kLocal) {
+    local_bytes_ += moved;
+  } else {
+    eps_bytes_ += moved;
+  }
+}
+
+void EpsFabric::recompute_and_replan() {
+  last_replan_ = sim_.now();
+  // Settle every flow at its current (old) rate before rates change.
+  for (auto& [id, af] : active_) settle_flow(af);
+
+  // --- Progressive filling over rack uplinks and downlinks. -------------
+  // Local flows are not constrained by the fabric; they run at NIC speed.
+  const double link_cap = topo_.eps_rack_link().in_bits_per_sec();
+  const auto racks = static_cast<std::size_t>(topo_.num_racks);
+
+  std::vector<double> up_cap(racks, link_cap);
+  std::vector<double> down_cap(racks, link_cap);
+  std::vector<int> up_load(racks, 0);
+  std::vector<int> down_load(racks, 0);
+
+  std::vector<ActiveFlow*> eps_flows;
+  for (auto& [id, af] : active_) {
+    if (af.flow->path() == FlowPath::kLocal) {
+      af.flow->set_rate(topo_.server_nic);
+      continue;
+    }
+    const auto s = static_cast<std::size_t>(af.flow->src().value());
+    const auto d = static_cast<std::size_t>(af.flow->dst().value());
+    COSCHED_CHECK(s < racks && d < racks);
+    ++up_load[s];
+    ++down_load[d];
+    eps_flows.push_back(&af);
+  }
+
+  std::vector<bool> frozen(eps_flows.size(), false);
+  std::size_t remaining = eps_flows.size();
+  while (remaining > 0) {
+    // Find the most constrained link: min residual_capacity / active_load.
+    double best_share = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < racks; ++r) {
+      if (up_load[r] > 0) {
+        best_share = std::min(best_share, up_cap[r] / up_load[r]);
+      }
+      if (down_load[r] > 0) {
+        best_share = std::min(best_share, down_cap[r] / down_load[r]);
+      }
+    }
+    COSCHED_CHECK(best_share < std::numeric_limits<double>::infinity());
+
+    // Freeze every flow whose uplink or downlink is saturated at this share.
+    bool froze_any = false;
+    for (std::size_t i = 0; i < eps_flows.size(); ++i) {
+      if (frozen[i]) continue;
+      const auto s =
+          static_cast<std::size_t>(eps_flows[i]->flow->src().value());
+      const auto d =
+          static_cast<std::size_t>(eps_flows[i]->flow->dst().value());
+      const bool up_tight =
+          up_cap[s] / up_load[s] <= best_share * (1.0 + 1e-12);
+      const bool down_tight =
+          down_cap[d] / down_load[d] <= best_share * (1.0 + 1e-12);
+      if (!up_tight && !down_tight) continue;
+      eps_flows[i]->flow->set_rate(Bandwidth::bits_per_sec(best_share));
+      frozen[i] = true;
+      froze_any = true;
+      --remaining;
+      up_cap[s] -= best_share;
+      down_cap[d] -= best_share;
+      --up_load[s];
+      --down_load[d];
+      up_cap[s] = std::max(up_cap[s], 0.0);
+      down_cap[d] = std::max(down_cap[d], 0.0);
+    }
+    COSCHED_CHECK_MSG(froze_any, "progressive filling made no progress");
+  }
+
+  // --- Re-plan completion events. ----------------------------------------
+  // Hysteresis: leave a pending event in place when the new ETA moved by
+  // less than 0.1% — on_completion_event verifies actual drain and
+  // reschedules if the flow is not quite done, so this is safe and avoids
+  // O(flows) heap churn on every rate perturbation.
+  for (auto& [fid, af] : active_) {
+    const double rate = af.flow->rate().in_bits_per_sec();
+    if (rate <= 0.0) {
+      // A zero-byte flow awaiting its immediate-completion event.
+      COSCHED_CHECK(af.flow->remaining_bits() <= kResidualBits);
+      continue;
+    }
+    const Duration eta = Duration::seconds(af.flow->remaining_bits() / rate);
+    const SimTime deadline = sim_.now() + eta;
+    if (af.flow->completion_event().pending()) {
+      const double drift =
+          std::abs((af.flow->planned_completion() - deadline).sec());
+      if (drift <= 1e-3 * eta.sec() + 1e-9) continue;
+      af.flow->completion_event().cancel();
+    }
+    FlowId id = af.flow->id();
+    af.flow->set_planned_completion(deadline);
+    af.flow->completion_event() =
+        sim_.schedule_at(deadline, [this, id] { on_completion_event(id); });
+  }
+}
+
+void EpsFabric::on_completion_event(FlowId id) {
+  auto it = active_.find(id);
+  if (it == active_.end()) return;  // already completed via another path
+  settle_flow(it->second);
+  Flow& flow = *it->second.flow;
+  if (flow.remaining_bits() > kResidualBits) {
+    // Not quite drained (demand grew, or the hysteresis left a slightly
+    // early event in place): reschedule from the current remaining/rate —
+    // unless the residue would drain within a nanosecond, in which case
+    // it is floating-point noise: count it done now (re-adding a
+    // sub-nanosecond event can fail to advance the clock at all, which
+    // would loop forever).
+    const double rate = flow.rate().in_bits_per_sec();
+    COSCHED_CHECK(rate > 0.0);
+    const double eta_sec = flow.remaining_bits() / rate;
+    if (eta_sec > 1e-9) {
+      const Duration eta = Duration::seconds(eta_sec);
+      flow.set_planned_completion(sim_.now() + eta);
+      flow.completion_event() = sim_.schedule_after(
+          eta, [this, id] { on_completion_event(id); });
+      return;
+    }
+  }
+  flow.mark_completed(sim_.now());
+  flow.completion_event().cancel();
+  CompletionCallback cb = std::move(it->second.on_complete);
+  active_.erase(it);
+  if (!active_.empty()) request_replan();
+  if (cb) cb(flow);
+}
+
+std::vector<std::pair<FlowId, Bandwidth>> EpsFabric::current_rates() const {
+  std::vector<std::pair<FlowId, Bandwidth>> out;
+  out.reserve(active_.size());
+  for (const auto& [id, af] : active_) {
+    out.emplace_back(id, af.flow->rate());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+}  // namespace cosched

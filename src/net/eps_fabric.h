@@ -1,0 +1,82 @@
+// Flow-level model of the electrical packet-switched network.
+//
+// The core is assumed non-blocking; contention happens on each rack's ToR
+// uplink (toward the core) and downlink (from the core), both of capacity
+// `eps_rack_link()`. Active flows receive their max-min fair share computed
+// by progressive filling: repeatedly find the most-constrained link, freeze
+// the flows crossing it at the fair share, and continue with residual
+// capacities.
+//
+// Rates are piecewise constant between network events. Every mutation
+// (flow added, demand added, flow finished) settles in-flight bytes, then
+// recomputes all rates and re-plans each flow's completion event.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/flow.h"
+#include "net/topology.h"
+#include "simcore/simulator.h"
+
+namespace cosched {
+
+class EpsFabric {
+ public:
+  using CompletionCallback = std::function<void(Flow&)>;
+
+  EpsFabric(Simulator& sim, const HybridTopology& topo);
+
+  /// Begin transferring `flow` over the EPS (or the local rack path when
+  /// src == dst). `on_complete` fires exactly once, when the flow drains.
+  void start_flow(Flow& flow, CompletionCallback on_complete);
+
+  /// Notify the fabric that `flow`'s size grew (demand added mid-transfer).
+  void demand_added(Flow& flow);
+
+  /// Current number of in-flight flows (EPS + local).
+  [[nodiscard]] std::size_t active_flows() const { return active_.size(); }
+
+  /// Total bytes drained through the cross-rack EPS links so far.
+  [[nodiscard]] DataSize eps_bytes_transferred() const { return eps_bytes_; }
+
+  /// Total bytes drained through intra-rack (local) paths so far.
+  [[nodiscard]] DataSize local_bytes_transferred() const {
+    return local_bytes_;
+  }
+
+  /// Max-min fair rates for the current flow set (exposed for testing),
+  /// sorted by flow id.
+  [[nodiscard]] std::vector<std::pair<FlowId, Bandwidth>> current_rates()
+      const;
+
+ private:
+  struct ActiveFlow {
+    Flow* flow;
+    CompletionCallback on_complete;
+    /// Last time this flow's fluid transfer was advanced.
+    SimTime last_settle = SimTime::zero();
+  };
+
+  /// Advance one flow's fluid transfer to now (at its current rate) and
+  /// account the moved bytes.
+  void settle_flow(ActiveFlow& af);
+  /// Coalesce rate recomputation: mutations within one replan interval
+  /// trigger a single progressive-filling pass. The first change after a
+  /// quiet period replans immediately (so isolated transitions stay
+  /// exact); storms are batched at kReplanInterval granularity.
+  void request_replan();
+  void recompute_and_replan();
+  void on_completion_event(FlowId id);
+
+  Simulator& sim_;
+  HybridTopology topo_;
+  std::unordered_map<FlowId, ActiveFlow> active_;
+  SimTime last_replan_ = SimTime::seconds(-1e9);
+  bool replan_scheduled_ = false;
+  DataSize eps_bytes_ = DataSize::zero();
+  DataSize local_bytes_ = DataSize::zero();
+};
+
+}  // namespace cosched

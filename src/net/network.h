@@ -1,0 +1,53 @@
+// Facade over the hybrid network: the EPS fabric, the OCS, and traffic
+// accounting. Routing policy (the c-Through elephant rule) lives here.
+#pragma once
+
+#include <memory>
+
+#include "net/eps_fabric.h"
+#include "net/ocs_switch.h"
+#include "net/topology.h"
+
+namespace cosched {
+
+class Network {
+ public:
+  Network(Simulator& sim, const HybridTopology& topo)
+      : topo_(topo), eps_(sim, topo), ocs_(sim, topo) {
+    topo_.validate();
+  }
+
+  [[nodiscard]] const HybridTopology& topology() const { return topo_; }
+  [[nodiscard]] EpsFabric& eps() { return eps_; }
+  [[nodiscard]] OcsSwitch& ocs() { return ocs_; }
+  [[nodiscard]] const EpsFabric& eps() const { return eps_; }
+  [[nodiscard]] const OcsSwitch& ocs() const { return ocs_; }
+
+  /// Route a flow: local if intra-rack, OCS if the aggregated rack-pair
+  /// demand reaches the elephant threshold, EPS otherwise.
+  [[nodiscard]] FlowPath classify(const Flow& flow) const {
+    if (flow.src() == flow.dst()) return FlowPath::kLocal;
+    if (flow.size() >= topo_.elephant_threshold) return FlowPath::kOcs;
+    return FlowPath::kEps;
+  }
+
+  /// OCS byte accounting, reported by the circuit scheduler as transfers
+  /// drain (the OCS itself is rate-constant so the scheduler owns timing).
+  void note_ocs_bytes(DataSize bytes) { ocs_bytes_ += bytes; }
+
+  [[nodiscard]] DataSize ocs_bytes_transferred() const { return ocs_bytes_; }
+  [[nodiscard]] DataSize eps_bytes_transferred() const {
+    return eps_.eps_bytes_transferred();
+  }
+  [[nodiscard]] DataSize local_bytes_transferred() const {
+    return eps_.local_bytes_transferred();
+  }
+
+ private:
+  HybridTopology topo_;
+  EpsFabric eps_;
+  OcsSwitch ocs_;
+  DataSize ocs_bytes_ = DataSize::zero();
+};
+
+}  // namespace cosched

@@ -1,0 +1,58 @@
+// Static description of the Hybrid-DCN (Figure 1 of the paper).
+//
+// R racks of servers. Each rack's ToR switch has two uplinks: one to the
+// core electrical packet switch (EPS) — oversubscribed — and one to the
+// optical circuit switch (OCS) at 100 Gb/s. The OCS is a non-blocking
+// R-port circuit switch: one circuit per input port at a time, and changing
+// a circuit costs a reconfiguration delay delta.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace cosched {
+
+struct HybridTopology {
+  std::int32_t num_racks = 60;
+  std::int32_t servers_per_rack = 10;
+  std::int32_t slots_per_server = 20;  // max concurrent tasks per server
+
+  Bandwidth server_nic = Bandwidth::gbps(10);
+  /// Aggregate-server-bandwidth : ToR-uplink ratio (paper default 10:1).
+  double eps_oversubscription = 10.0;
+  Bandwidth ocs_link = Bandwidth::gbps(100);
+  Duration ocs_reconfig_delay = Duration::milliseconds(10);
+
+  /// Flows at or above this size may use the OCS (c-Through style).
+  DataSize elephant_threshold = DataSize::gigabytes(1.125);
+
+  /// Capacity of one ToR's uplink (and downlink) to the core EPS.
+  [[nodiscard]] Bandwidth eps_rack_link() const {
+    COSCHED_CHECK(eps_oversubscription > 0.0);
+    return server_nic * static_cast<double>(servers_per_rack) /
+           eps_oversubscription;
+  }
+
+  [[nodiscard]] std::int64_t slots_per_rack() const {
+    return static_cast<std::int64_t>(servers_per_rack) * slots_per_server;
+  }
+
+  [[nodiscard]] std::int64_t total_slots() const {
+    return slots_per_rack() * num_racks;
+  }
+
+  void validate() const {
+    COSCHED_CHECK(num_racks > 0);
+    COSCHED_CHECK(servers_per_rack > 0);
+    COSCHED_CHECK(slots_per_server > 0);
+    COSCHED_CHECK(server_nic.in_bits_per_sec() > 0);
+    COSCHED_CHECK(ocs_link.in_bits_per_sec() > 0);
+    COSCHED_CHECK(eps_oversubscription > 0);
+    COSCHED_CHECK(ocs_reconfig_delay >= Duration::zero());
+    COSCHED_CHECK(elephant_threshold > DataSize::zero());
+  }
+};
+
+}  // namespace cosched

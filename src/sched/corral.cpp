@@ -1,0 +1,62 @@
+#include "sched/corral.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sched/fairness.h"
+
+namespace cosched {
+
+void CorralScheduler::on_job_submitted(Job& job, SchedContext& ctx) {
+  // Size the rack set to the job's peak parallel task demand.
+  const double slots_budget =
+      opts_.occupancy * static_cast<double>(ctx.topo.slots_per_rack());
+  const auto peak_tasks = static_cast<double>(
+      std::max(job.spec().num_maps, job.spec().num_reduces));
+  const auto want = static_cast<std::int32_t>(
+      std::ceil(peak_tasks / std::max(slots_budget, 1.0)));
+  const std::int32_t set_size =
+      std::clamp(want, 1, ctx.topo.num_racks);
+
+  // Pick the least-loaded racks right now (ties by id for determinism).
+  std::vector<RackId> racks;
+  racks.reserve(static_cast<std::size_t>(ctx.topo.num_racks));
+  for (std::int32_t r = 0; r < ctx.topo.num_racks; ++r) {
+    racks.emplace_back(r);
+  }
+  std::stable_sort(racks.begin(), racks.end(), [&](RackId a, RackId b) {
+    return ctx.cluster.used_slots(a) < ctx.cluster.used_slots(b);
+  });
+  racks.resize(static_cast<std::size_t>(set_size));
+
+  job.set_block_placement(place_blocks_on_racks(
+      job.spec().num_maps, racks, opts_.replication, ctx.rng));
+  job.set_preferred_racks(std::move(racks));
+}
+
+std::optional<TaskChoice> CorralScheduler::pick_task(RackId rack,
+                                                     SchedContext& ctx) {
+  for (UserId user : fair_user_order(ctx.active_jobs)) {
+    for (Job* job : ctx.active_jobs) {
+      if (job->spec().user != user) continue;
+      if (!job->rack_preferred(rack)) continue;  // strict confinement
+      // Inside its rack set every map is data-local by construction.
+      if (Task* t = job->next_pending_map_local(rack)) {
+        return TaskChoice{job, t};
+      }
+      if (reduces_eligible(*job, ctx)) {
+        if (Task* t = job->next_pending_reduce()) {
+          return TaskChoice{job, t};
+        }
+      }
+      // Non-local (within the set) map: block replicas may not cover every
+      // rack of a large set.
+      if (Task* t = job->next_pending_map_any()) {
+        return TaskChoice{job, t};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace cosched

@@ -1,0 +1,302 @@
+#include "sched/coscheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "sched/fairness.h"
+
+namespace cosched {
+
+std::vector<PossibleSchedule> possible_reduce_schedules(
+    const std::vector<DataSize>& sm, std::int32_t num_reduces,
+    DataSize elephant_threshold, Bandwidth ocs_rate, Duration reconfig_delay,
+    std::int32_t max_racks) {
+  std::vector<PossibleSchedule> out;
+  if (sm.empty() || num_reduces <= 0) return out;
+  std::vector<DataSize> sorted = sm;
+  std::sort(sorted.begin(), sorted.end());
+  const DataSize sm_min = sorted.front();
+  COSCHED_CHECK_MSG(sm_min >= elephant_threshold,
+                    "PSRT input must be pre-filtered to >= T_e");
+
+  // Upper bound on R_red: floor(SM_1 / T_e) keeps every flow from the
+  // smallest map rack above the threshold (Equation 7), further capped by
+  // the number of reduce tasks and racks available.
+  const auto r_red_max = static_cast<std::int32_t>(std::min<std::int64_t>(
+      {sm_min.in_bytes() / elephant_threshold.in_bytes(),
+       static_cast<std::int64_t>(num_reduces),
+       static_cast<std::int64_t>(max_racks)}));
+
+  for (std::int32_t r_red = 1; r_red <= r_red_max; ++r_red) {
+    // Aggregation floor: rack j needs d_j reduces so that
+    // SM_1 * d_j / num_reduces >= T_e.
+    const auto d_min = static_cast<std::int32_t>(std::ceil(
+        static_cast<double>(elephant_threshold.in_bytes()) *
+        static_cast<double>(num_reduces) /
+        static_cast<double>(sm_min.in_bytes())));
+    if (static_cast<std::int64_t>(d_min) * r_red > num_reduces) {
+      continue;  // cannot aggregate every rack past the threshold
+    }
+
+    // Start every rack at the floor, then feed the remaining tasks to the
+    // currently least-loaded rack (received data is proportional to d_j, so
+    // least-loaded = smallest d_j). This minimizes max_j col-sum and hence
+    // the lower bound.
+    std::vector<std::int32_t> d(static_cast<std::size_t>(r_red), d_min);
+    std::int32_t rem = num_reduces - d_min * r_red;
+    std::size_t next = 0;
+    while (rem > 0) {
+      d[next] += 1;
+      next = (next + 1) % d.size();
+      --rem;
+    }
+
+    // CCT lower bound for this placement, with reduce racks abstracted as
+    // fresh ids (rack identities are chosen later by SBS).
+    TrafficMatrix matrix;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      for (std::size_t j = 0; j < d.size(); ++j) {
+        const DataSize c =
+            sorted[i] * (static_cast<double>(d[j]) /
+                         static_cast<double>(num_reduces));
+        matrix.add(RackId{static_cast<std::int64_t>(i)},
+                   RackId{static_cast<std::int64_t>(1000000 + j)}, c);
+      }
+    }
+    PossibleSchedule ps;
+    ps.d = std::move(d);
+    ps.cct = cct_lower_bound(matrix, ocs_rate, reconfig_delay);
+    out.push_back(std::move(ps));
+  }
+  return out;
+}
+
+std::string CoScheduler::name() const {
+  if (opts_.enable_mts && opts_.enable_reduce_planning) return "coscheduler";
+  if (opts_.enable_mts) return "mts+ocas";
+  return "ocas";
+}
+
+void CoScheduler::on_job_submitted(Job& job, SchedContext& ctx) {
+  const JobSpec& spec = job.spec();
+
+  double predicted_sir = spec.sir;
+  if (opts_.sir_prediction_error > 0.0) {
+    predicted_sir *=
+        1.0 + opts_.sir_prediction_error * ctx.rng.uniform(-1.0, 1.0);
+    predicted_sir = std::max(predicted_sir, 0.0);
+  }
+  const DataSize predicted_shuffle = spec.input_size * predicted_sir;
+  const bool predicted_heavy =
+      spec.num_reduces > 0 && predicted_shuffle >= ctx.topo.elephant_threshold;
+
+  if (!opts_.enable_mts || !predicted_heavy) {
+    job.set_block_placement(place_blocks_random(
+        spec.num_maps, ctx.topo.num_racks, opts_.replication, ctx.rng));
+    return;
+  }
+
+  // MTS guideline: R_map = floor(sqrt(Input*SIR / T_e)), clamped so the
+  // replication-many disjoint rack sets fit and so the job's own task
+  // counts can populate the racks.
+  const double ratio = predicted_shuffle / ctx.topo.elephant_threshold;
+  auto r_map = static_cast<std::int32_t>(std::floor(std::sqrt(ratio)));
+  r_map = std::clamp(r_map, 1, std::max(1, ctx.topo.num_racks /
+                                               opts_.replication));
+  r_map = std::min(r_map, spec.num_maps);
+  r_map = std::min(r_map, std::max(spec.num_reduces, 1));
+
+  std::vector<std::vector<RackId>> sets;
+  job.set_block_placement(place_blocks_clustered(spec.num_maps,
+                                                 ctx.topo.num_racks,
+                                                 opts_.replication, r_map,
+                                                 ctx.rng, &sets));
+  // Concrete guideline racks: rack p of set k holds blocks congruent to
+  // p mod r_data, so picking, for every residue p, the least-loaded rack
+  // among {set_k[p]} yields R_map racks that jointly hold a full replica
+  // ("any R_map racks selected from the three disjoint sets", IV-C).
+  const auto r_data = static_cast<std::int32_t>(sets.front().size());
+  std::vector<RackId> guideline;
+  guideline.reserve(static_cast<std::size_t>(r_data));
+  for (std::int32_t p = 0; p < r_data; ++p) {
+    RackId best = sets.front()[static_cast<std::size_t>(p)];
+    for (const auto& set : sets) {
+      const RackId cand = set[static_cast<std::size_t>(p)];
+      if (ctx.cluster.used_slots(cand) < ctx.cluster.used_slots(best)) {
+        best = cand;
+      }
+    }
+    guideline.push_back(best);
+  }
+  job.set_r_map_guideline(r_data);
+  job.set_guideline_map_racks(std::move(guideline));
+}
+
+void CoScheduler::on_maps_completed(Job& job, SchedContext& ctx) {
+  if (!opts_.enable_reduce_planning) return;
+  if (!job.shuffle_heavy() || job.spec().num_reduces == 0) return;
+
+  // PSRT operates on the *actual* per-rack map output, disregarding racks
+  // whose output is below T_e (they cannot use the OCS regardless).
+  std::vector<RackId> map_racks;
+  std::vector<DataSize> sm;
+  for (const auto& [rack, size] : job.map_output_by_rack()) {
+    if (size >= ctx.topo.elephant_threshold) {
+      map_racks.push_back(rack);
+      sm.push_back(size);
+    }
+  }
+  if (sm.empty()) return;  // cannot exploit the OCS; reduces spread freely
+
+  const std::vector<PossibleSchedule> schedules = possible_reduce_schedules(
+      sm, job.spec().num_reduces, ctx.topo.elephant_threshold,
+      ctx.topo.ocs_link, ctx.topo.ocs_reconfig_delay, ctx.topo.num_racks);
+  if (schedules.empty()) return;
+
+  select_best_schedule(job, schedules, map_racks, ctx);
+}
+
+void CoScheduler::select_best_schedule(
+    Job& job, const std::vector<PossibleSchedule>& schedules,
+    const std::vector<RackId>& map_racks, SchedContext& ctx) {
+  (void)map_racks;
+  double best_score = std::numeric_limits<double>::infinity();
+  std::map<RackId, std::int32_t> best_plan;
+  Duration best_cct = Duration::zero();
+
+  for (const PossibleSchedule& ps : schedules) {
+    // ExploreSchedule (Algorithm 1): descending D, each d_i to the
+    // earliest-available unselected rack.
+    std::vector<std::int32_t> d = ps.d;
+    std::sort(d.begin(), d.end(), std::greater<>());
+
+    std::map<RackId, std::int32_t> plan;
+    Duration t_max = Duration::zero();
+    bool feasible = true;
+    for (std::int32_t di : d) {
+      Duration best_t = Duration::infinity();
+      RackId best_rack = RackId::invalid();
+      for (std::int32_t r = 0; r < ctx.topo.num_racks; ++r) {
+        const RackId rack{r};
+        if (plan.count(rack) > 0) continue;  // selected racks are spent
+        const Duration t = ctx.availability.estimate_availability(rack, di);
+        if (t < best_t) {
+          best_t = t;
+          best_rack = rack;
+        }
+      }
+      if (!best_rack.valid() || !best_t.is_finite()) {
+        feasible = false;
+        break;
+      }
+      plan[best_rack] = di;
+      t_max = std::max(t_max, best_t);
+    }
+    if (!feasible) continue;
+
+    const double score = (ps.cct + t_max).sec();
+    if (score < best_score) {
+      best_score = score;
+      best_plan = std::move(plan);
+      best_cct = ps.cct;
+    }
+  }
+
+  if (!best_plan.empty()) {
+    job.set_reduce_plan(std::move(best_plan), best_cct);
+  }
+}
+
+namespace {
+
+/// Class-6 gate: a guided shuffle-heavy job may run maps off-guideline only
+/// when no guideline-conforming placement is possible right now — i.e., no
+/// guideline rack has both a free container and a pending local map.
+bool map_overflow_allowed(Job& job, const SchedContext& ctx) {
+  if (!job.shuffle_heavy() || job.r_map_guideline() <= 0) return true;
+  for (RackId r : job.guideline_map_racks()) {
+    if (ctx.cluster.free_slots(r) > 0 &&
+        job.next_pending_map_local(r) != nullptr) {
+      return false;  // a conforming placement exists; no overflow yet
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<TaskChoice> CoScheduler::pick_task(RackId rack,
+                                                 SchedContext& ctx) {
+  for (UserId user : fair_user_order(ctx.active_jobs)) {
+    std::vector<Job*> jobs;
+    for (Job* job : ctx.active_jobs) {
+      if (job->spec().user == user) jobs.push_back(job);
+    }
+
+    // OCAS priority classes (Algorithm 2), evaluated across the user's
+    // jobs in arrival order.
+
+    // 1. Reduce from a shuffle-heavy job whose best schedule contains this
+    //    rack (plan capacity remaining).
+    for (Job* job : jobs) {
+      if (!job->shuffle_heavy() || !job->has_reduce_plan()) continue;
+      if (job->reduce_plan_remaining(rack) <= 0) continue;
+      if (!reduces_eligible(*job, ctx)) continue;
+      if (Task* t = job->next_pending_reduce()) return TaskChoice{job, t};
+    }
+    // 2. Map from a shuffle-heavy job whose data is on this rack and which
+    //    keeps the job's maps on its R_map guideline racks.
+    for (Job* job : jobs) {
+      if (!job->shuffle_heavy() || job->r_map_guideline() <= 0) continue;
+      if (!job->in_map_guideline(rack)) continue;
+      if (Task* t = job->next_pending_map_local(rack)) {
+        return TaskChoice{job, t};
+      }
+    }
+    // 3. Reduce from a non-shuffle-heavy job.
+    for (Job* job : jobs) {
+      if (job->shuffle_heavy()) continue;
+      if (!reduces_eligible(*job, ctx)) continue;
+      if (Task* t = job->next_pending_reduce()) return TaskChoice{job, t};
+    }
+    // 4. Any map from a non-shuffle-heavy job (local first).
+    for (Job* job : jobs) {
+      if (job->shuffle_heavy()) continue;
+      if (Task* t = job->next_pending_map_local(rack)) {
+        return TaskChoice{job, t};
+      }
+    }
+    for (Job* job : jobs) {
+      if (job->shuffle_heavy()) continue;
+      if (Task* t = job->next_pending_map_any()) return TaskChoice{job, t};
+    }
+    // 5. Any available reduce: shuffle-heavy jobs with no plan (their map
+    //    output cannot use the OCS anyway). Planned jobs stay on plan.
+    for (Job* job : jobs) {
+      if (!job->shuffle_heavy() || job->has_reduce_plan()) continue;
+      if (!reduces_eligible(*job, ctx)) continue;
+      if (Task* t = job->next_pending_reduce()) return TaskChoice{job, t};
+    }
+    // 6. Any available map. For a guided shuffle-heavy job this is the
+    //    overflow path (maps beyond the R_map cap or off the data racks,
+    //    paying the remote-read penalty); it only opens once the job's
+    //    guideline racks are saturated, otherwise the guideline would
+    //    dissolve the moment any other rack had a free container.
+    for (Job* job : jobs) {
+      if (!map_overflow_allowed(*job, ctx)) continue;
+      if (Task* t = job->next_pending_map_local(rack)) {
+        return TaskChoice{job, t};
+      }
+    }
+    for (Job* job : jobs) {
+      if (!map_overflow_allowed(*job, ctx)) continue;
+      if (Task* t = job->next_pending_map_any()) return TaskChoice{job, t};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace cosched

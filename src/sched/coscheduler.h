@@ -1,0 +1,92 @@
+// Co-scheduler — the paper's contribution (Section IV).
+//
+// Four cooperating mechanisms:
+//
+//   MTS  (Section IV-C): at submission, a shuffle-heavy job gets a guideline
+//        R_map = floor(sqrt(Input * SIR / T_e)) and its input blocks are
+//        placed on `replication` disjoint sets of R_map racks, so that maps
+//        can run data-locally on R_map racks and every map-rack's output can
+//        cross the elephant threshold toward every reduce rack.
+//
+//   PSRT (Section IV-D): when the job's maps finish, enumerate every
+//        feasible reduce-rack count R_red in [1, floor(SM_1/T_e)] and, for
+//        each, the reduce-task distribution D that (a) pushes every flow
+//        over T_e and (b) minimizes the CCT lower bound T(C) — start every
+//        rack at the minimum aggregation count, then add remaining tasks to
+//        the least-loaded rack.
+//
+//   SBS  (Section IV-E, Algorithm 1): ExploreSchedule greedily matches the
+//        sorted (descending) D to the racks whose containers free earliest
+//        (per the T_rem estimator), which is optimal for the given D; the
+//        best schedule minimizes CCT + t_max.
+//
+//   OCAS (Section IV-F, Algorithm 2): at container-grant time, serve the
+//        most under-served user and pick, in priority order: planned
+//        shuffle-heavy reduce → guideline shuffle-heavy map → light reduce →
+//        light map → any reduce → any map.
+//
+// Reduce semantics follow Section IV-A: reduces are placed only after all
+// maps finish, and the shuffle coflow is released only after every reduce
+// container is granted.
+//
+// The ablation modes of the paper's Figure 5 are flags: OCAS-only disables
+// everything but the grant policy (degenerating to Fair-with-deferred-
+// reduces), MTS+OCAS disables the reduce planning.
+#pragma once
+
+#include <vector>
+
+#include "coflow/cct_bound.h"
+#include "sched/scheduler.h"
+
+namespace cosched {
+
+/// One PSRT candidate: run the job's reduces on `d.size()` racks, `d[i]`
+/// tasks on the i-th, for a CCT lower bound of `cct`.
+struct PossibleSchedule {
+  std::vector<std::int32_t> d;
+  Duration cct;
+};
+
+/// PSRT: all possible schedules for a map-output distribution `sm`
+/// (per-rack output sizes, each >= elephant_threshold, any order).
+[[nodiscard]] std::vector<PossibleSchedule> possible_reduce_schedules(
+    const std::vector<DataSize>& sm, std::int32_t num_reduces,
+    DataSize elephant_threshold, Bandwidth ocs_rate, Duration reconfig_delay,
+    std::int32_t max_racks);
+
+class CoScheduler : public JobScheduler {
+ public:
+  struct Options {
+    /// MTS: guideline input placement + map-rack cap.
+    bool enable_mts = true;
+    /// PSRT + SBS: reduce planning (requires MTS to be meaningful, as the
+    /// paper notes, but the flag is independent for the ablation study).
+    bool enable_reduce_planning = true;
+    std::int32_t replication = 3;
+    /// Multiplicative noise applied to the predicted SIR at submission
+    /// (0 = the paper's recurring-job assumption of accurate prediction).
+    double sir_prediction_error = 0.0;
+  };
+
+  CoScheduler() : CoScheduler(Options{}) {}
+  explicit CoScheduler(Options opts) : opts_(opts) {}
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool defers_reduces() const override { return true; }
+
+  void on_job_submitted(Job& job, SchedContext& ctx) override;
+  void on_maps_completed(Job& job, SchedContext& ctx) override;
+  std::optional<TaskChoice> pick_task(RackId rack, SchedContext& ctx) override;
+
+ private:
+  /// SBS over the possible schedules; installs the best plan on the job.
+  void select_best_schedule(Job& job,
+                            const std::vector<PossibleSchedule>& schedules,
+                            const std::vector<RackId>& map_racks,
+                            SchedContext& ctx);
+
+  Options opts_;
+};
+
+}  // namespace cosched

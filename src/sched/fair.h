@@ -1,0 +1,31 @@
+// The Hadoop Fair scheduler [13] — the paper's primary baseline.
+//
+// Input blocks are scattered randomly over the whole cluster (conventional
+// HDFS). Containers go to the most under-served user; within a user, jobs
+// in arrival order. On a given rack the scheduler prefers a data-local map,
+// then an eligible reduce (slow-start overlap), then any map (paying a
+// remote-read penalty). No attempt is made to aggregate traffic — exactly
+// the behavior the paper criticizes in Section I.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace cosched {
+
+class FairScheduler : public JobScheduler {
+ public:
+  /// HDFS replication factor (paper assumes the Hadoop default of 3).
+  explicit FairScheduler(std::int32_t replication = 3)
+      : replication_(replication) {}
+
+  [[nodiscard]] std::string name() const override { return "fair"; }
+  [[nodiscard]] bool defers_reduces() const override { return false; }
+
+  void on_job_submitted(Job& job, SchedContext& ctx) override;
+  std::optional<TaskChoice> pick_task(RackId rack, SchedContext& ctx) override;
+
+ private:
+  std::int32_t replication_;
+};
+
+}  // namespace cosched

@@ -1,0 +1,41 @@
+#include "sched/fairness.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cosched {
+
+std::vector<std::pair<UserId, std::int64_t>> user_running_tasks(
+    const std::vector<Job*>& jobs) {
+  std::map<UserId, std::int64_t> counts;
+  for (const Job* job : jobs) {
+    const std::int64_t running =
+        (job->maps_placed() - job->maps_completed()) +
+        (job->reduces_placed() - job->reduces_completed());
+    counts[job->spec().user] += running;
+  }
+  return {counts.begin(), counts.end()};
+}
+
+std::vector<UserId> fair_user_order(const std::vector<Job*>& jobs) {
+  auto counts = user_running_tasks(jobs);
+  std::stable_sort(counts.begin(), counts.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.second != b.second) return a.second < b.second;
+                     return a.first < b.first;
+                   });
+  std::vector<UserId> order;
+  order.reserve(counts.size());
+  for (const auto& [user, count] : counts) order.push_back(user);
+  return order;
+}
+
+std::vector<Job*> jobs_of_user(const std::vector<Job*>& jobs, UserId user) {
+  std::vector<Job*> out;
+  for (Job* job : jobs) {
+    if (job->spec().user == user) out.push_back(job);
+  }
+  return out;
+}
+
+}  // namespace cosched

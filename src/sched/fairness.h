@@ -1,0 +1,27 @@
+// The fair-sharing user policy (Algorithm 2, line 1).
+//
+// Users are ordered by their current running-task count, fewest first (each
+// user's fair share is equal, so the most under-served user is the one with
+// the fewest running tasks). Ties break by user id for determinism.
+#pragma once
+
+#include <vector>
+
+#include "cluster/job.h"
+#include "common/ids.h"
+
+namespace cosched {
+
+/// Running tasks (placed, not completed) per user over the given jobs.
+[[nodiscard]] std::vector<std::pair<UserId, std::int64_t>> user_running_tasks(
+    const std::vector<Job*>& jobs);
+
+/// Users with at least one active job, most under-served first.
+[[nodiscard]] std::vector<UserId> fair_user_order(
+    const std::vector<Job*>& jobs);
+
+/// `jobs` filtered to one user, arrival order preserved.
+[[nodiscard]] std::vector<Job*> jobs_of_user(const std::vector<Job*>& jobs,
+                                             UserId user);
+
+}  // namespace cosched

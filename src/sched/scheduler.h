@@ -1,0 +1,89 @@
+// The job-scheduler interface.
+//
+// A JobScheduler makes three kinds of decisions, invoked by the simulation
+// driver at well-defined points:
+//
+//   1. on_job_submitted — input data placement and any per-job planning
+//      (Co-scheduler computes the R_map guideline here);
+//   2. on_maps_completed — reduce planning once the map output distribution
+//      is known (Co-scheduler's PSRT + SBS run here);
+//   3. pick_task — container-grant time: one free container on one rack is
+//      offered and the scheduler returns the task to run in it (or nothing).
+//
+// Schedulers also declare their reduce-phase semantics: baselines overlap
+// reduces with maps (Hadoop slow-start), Co-scheduler defers reduces until
+// all maps finish (Section IV-A of the paper).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/job.h"
+#include "cluster/trem_estimator.h"
+#include "common/rng.h"
+#include "net/topology.h"
+#include "simcore/simulator.h"
+
+namespace cosched {
+
+/// Everything a scheduler may consult when deciding.
+struct SchedContext {
+  SimTime now;
+  const HybridTopology& topo;
+  Cluster& cluster;
+  /// Jobs that have arrived and not yet completed, in arrival order.
+  const std::vector<Job*>& active_jobs;
+  AvailabilityOracle& availability;
+  Rng& rng;
+  /// Fraction of a job's maps that must finish before an overlapping
+  /// scheduler may place its reduces (Hadoop slow-start; baselines only).
+  double reduce_slowstart = 0.05;
+};
+
+struct TaskChoice {
+  Job* job;
+  Task* task;
+};
+
+class JobScheduler {
+ public:
+  virtual ~JobScheduler() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// If true, the driver only lets this scheduler place a job's reduce
+  /// tasks after all of its maps completed, and releases the job's shuffle
+  /// as one coflow after the last reduce container is granted.
+  [[nodiscard]] virtual bool defers_reduces() const = 0;
+
+  /// Place the job's input blocks (must call job.set_block_placement) and
+  /// do any admission-time planning.
+  virtual void on_job_submitted(Job& job, SchedContext& ctx) = 0;
+
+  /// Invoked when the job's last map task completes.
+  virtual void on_maps_completed(Job& job, SchedContext& ctx) {
+    (void)job;
+    (void)ctx;
+  }
+
+  /// Offer one free container on `rack`. Return the task to run or nullopt.
+  virtual std::optional<TaskChoice> pick_task(RackId rack,
+                                              SchedContext& ctx) = 0;
+
+ protected:
+  /// Whether `job`'s reduces are eligible for placement under this
+  /// scheduler's reduce semantics.
+  [[nodiscard]] bool reduces_eligible(const Job& job,
+                                      const SchedContext& ctx) const {
+    if (job.spec().num_reduces == 0) return false;
+    if (defers_reduces()) return job.all_maps_done();
+    const auto threshold = static_cast<std::int32_t>(
+        std::ceil(ctx.reduce_slowstart *
+                  static_cast<double>(job.spec().num_maps)));
+    return job.maps_completed() >= threshold;
+  }
+};
+
+}  // namespace cosched

@@ -1,0 +1,398 @@
+#include "sim/driver.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace cosched {
+
+SimulationDriver::SimulationDriver(SimConfig cfg, std::vector<JobSpec> workload,
+                                   std::unique_ptr<JobScheduler> scheduler)
+    : cfg_(cfg),
+      workload_(std::move(workload)),
+      scheduler_(std::move(scheduler)),
+      net_(sim_, cfg_.topo),
+      sunflow_(sim_, net_),
+      cluster_(cfg_.topo),
+      rng_(cfg_.seed),
+      trem_(Rng(cfg_.seed).fork(0xbeef), cfg_.trem_error_rate),
+      running_by_rack_(static_cast<std::size_t>(cfg_.topo.num_racks)) {
+  COSCHED_CHECK(scheduler_ != nullptr);
+  cfg_.topo.validate();
+  sunflow_.set_on_flow_complete([this](Flow& f) { on_flow_complete(f); });
+}
+
+SchedContext SimulationDriver::make_context() {
+  return SchedContext{sim_.now(),     cfg_.topo, cluster_, active_jobs_,
+                      *this,          rng_,      cfg_.reduce_slowstart};
+}
+
+RunMetrics SimulationDriver::run() {
+  for (std::size_t i = 0; i < workload_.size(); ++i) {
+    sim_.schedule_at(workload_[i].arrival, [this, i] { on_job_arrival(i); });
+  }
+  while (true) {
+    sim_.run();
+    if (jobs_completed_ == static_cast<std::int64_t>(workload_.size())) break;
+    COSCHED_CHECK_MSG(break_deadlock(),
+                      "simulation drained with "
+                          << static_cast<std::int64_t>(workload_.size()) -
+                                 jobs_completed_
+                          << " jobs incomplete and no recovery possible");
+  }
+
+  RunMetrics m;
+  m.scheduler = scheduler_->name();
+  m.seed = cfg_.seed;
+  m.makespan = last_completion_ - SimTime::zero();
+  m.ocs_bytes = net_.ocs_bytes_transferred();
+  m.eps_bytes = net_.eps_bytes_transferred();
+  m.local_bytes = net_.local_bytes_transferred();
+  m.events_executed = sim_.events_executed();
+  m.jobs.reserve(jobs_.size());
+  for (const auto& job : jobs_) {
+    JobRecord rec;
+    rec.id = job->id();
+    rec.user = job->spec().user;
+    rec.shuffle_heavy = job->shuffle_heavy();
+    rec.has_shuffle = job->has_shuffle();
+    rec.arrival = job->spec().arrival;
+    rec.completion = job->completion_time();
+    rec.jct = job->completion_time() - job->spec().arrival;
+    if (rec.has_shuffle) {
+      COSCHED_CHECK(job->coflow().completed());
+      rec.cct = job->coflow().cct();
+      rec.shuffle_bytes = job->coflow().total_demand();
+      rec.cct_lower_bound = job->coflow().lower_bound(
+          cfg_.topo.ocs_link, cfg_.topo.ocs_reconfig_delay);
+      rec.all_flows_ocs = true;
+      for (const auto& f : job->coflow().flows()) {
+        if (f->path() != FlowPath::kOcs) rec.all_flows_ocs = false;
+      }
+    }
+    for (const Task& t : job->maps()) {
+      rec.last_map_completion =
+          std::max(rec.last_map_completion, t.completed_at());
+    }
+    for (const Task& t : job->reduces()) {
+      rec.first_reduce_placement =
+          std::min(rec.first_reduce_placement, t.placed_at());
+    }
+    m.jobs.push_back(rec);
+  }
+  return m;
+}
+
+void SimulationDriver::on_job_arrival(std::size_t workload_index) {
+  const JobSpec& spec = workload_[workload_index];
+  jobs_.push_back(std::make_unique<Job>(spec, cfg_.topo.elephant_threshold,
+                                        task_ids_,
+                                        CoflowId{spec.id.value()}));
+  Job* job = jobs_.back().get();
+  job_by_id_[job->id()] = job;
+  active_jobs_.push_back(job);
+  pending_tasks_ += spec.num_maps + spec.num_reduces;
+
+  SchedContext ctx = make_context();
+  scheduler_->on_job_submitted(*job, ctx);
+  COSCHED_CHECK_MSG(job->has_block_placement(),
+                    "scheduler failed to place input of job " << job->id());
+  request_dispatch();
+}
+
+void SimulationDriver::request_dispatch() {
+  if (dispatch_scheduled_) return;
+  if (pending_tasks_ == 0 || cluster_.total_free_slots() == 0) return;
+  dispatch_scheduled_ = true;
+  sim_.schedule_after(Duration::zero(), [this] {
+    dispatch_scheduled_ = false;
+    dispatch();
+  });
+}
+
+void SimulationDriver::dispatch() {
+  if (pending_tasks_ == 0) return;
+  SchedContext ctx = make_context();
+  const std::int32_t racks = cfg_.topo.num_racks;
+  // One container per rack per pass, racks visited round-robin from a
+  // rotating start: this models YARN granting containers as NodeManagers
+  // across the cluster heartbeat, rather than draining one rack at a time
+  // (which would artificially clump a job's tasks onto the first rack).
+  const std::int32_t start = dispatch_rotation_++ % racks;
+  bool progress = true;
+  bool placed_any = false;
+  while (progress && pending_tasks_ > 0) {
+    progress = false;
+    for (std::int32_t k = 0; k < racks && pending_tasks_ > 0; ++k) {
+      const RackId rack{(start + k) % racks};
+      if (cluster_.free_slots(rack) == 0) continue;
+      auto choice = scheduler_->pick_task(rack, ctx);
+      if (!choice.has_value()) continue;
+      start_task(*choice->job, *choice->task, rack);
+      progress = true;
+      placed_any = true;
+    }
+  }
+
+  // A scheduler may decline offers it could accept later without any
+  // triggering event (delay scheduling waiting for locality). Re-offer on
+  // a heartbeat, as YARN NodeManagers would.
+  if (!placed_any && pending_tasks_ > 0 && cluster_.total_free_slots() > 0 &&
+      !heartbeat_scheduled_) {
+    heartbeat_scheduled_ = true;
+    sim_.schedule_after(Duration::seconds(1), [this] {
+      heartbeat_scheduled_ = false;
+      dispatch();
+    });
+  }
+}
+
+void SimulationDriver::start_task(Job& job, Task& task, RackId rack) {
+  const NodeId node = cluster_.allocate_slot(rack);
+  task.place(rack, node, sim_.now());
+  running_by_rack_[static_cast<std::size_t>(rack.value())].push_back(&task);
+  --pending_tasks_;
+
+  if (task.kind() == TaskKind::kMap) {
+    job.note_map_placed(rack);
+    if (!job.map_local_on(task.index(), rack)) {
+      // Remote read: fetching the block over the network, modeled as a
+      // deterministic NIC-limited delay (small flows are not worth pushing
+      // through the fluid fabric; all schedulers pay the same price).
+      task.set_read_penalty(
+          transfer_time(job.spec().block_size(), cfg_.topo.server_nic));
+    }
+    Job* jp = &job;
+    Task* tp = &task;
+    sim_.schedule_after(task.run_duration(),
+                        [this, jp, tp] { on_map_complete(*jp, *tp); });
+    return;
+  }
+
+  // Reduce task: occupies the container; shuffle demand materializes per
+  // the scheduler's reduce semantics.
+  job.note_reduce_placed(rack);
+  if (scheduler_->defers_reduces()) {
+    COSCHED_CHECK_MSG(job.all_maps_done(),
+                      "deferred scheduler placed a reduce before maps done");
+    // Release the coflow as one unit once every reduce container is
+    // granted (Section IV-A). A job whose shuffle was already partially
+    // released by the deadlock breaker keeps streaming incrementally.
+    if (job.all_reduces_placed() || job.shuffle_released()) {
+      sync_reduce_demand(job);
+    }
+  } else if (job.all_maps_done()) {
+    sync_reduce_demand(job);
+  }
+}
+
+void SimulationDriver::remove_running(RackId rack, Task& task) {
+  auto& v = running_by_rack_[static_cast<std::size_t>(rack.value())];
+  auto it = std::find(v.begin(), v.end(), &task);
+  COSCHED_CHECK(it != v.end());
+  v.erase(it);
+}
+
+void SimulationDriver::on_map_complete(Job& job, Task& task) {
+  task.complete(sim_.now());
+  remove_running(task.rack(), task);
+  cluster_.release_slot(task.rack(), task.node());
+  trem_.forget(task.id());
+  job.note_map_completed(task.rack(), job.spec().map_output_size());
+
+  if (job.all_maps_done()) {
+    SchedContext ctx = make_context();
+    scheduler_->on_maps_completed(job, ctx);
+    if (job.spec().num_reduces == 0) {
+      finish_job(job);
+    } else if (!scheduler_->defers_reduces()) {
+      sync_reduce_demand(job);
+    }
+  }
+  request_dispatch();
+}
+
+void SimulationDriver::sync_reduce_demand(Job& job) {
+  COSCHED_CHECK(job.all_maps_done());
+  std::map<RackId, std::int32_t>& demanded = demanded_[job.id()];
+  job.mark_shuffle_released();
+  job.coflow().mark_released(sim_.now());
+  std::vector<RackId> touched;
+  for (const auto& [rack, placed] : job.reduce_placed_by_rack()) {
+    const std::int32_t missing = placed - demanded[rack];
+    if (missing <= 0) continue;
+    demanded[rack] = placed;
+    touched.push_back(rack);
+    const double share = static_cast<double>(missing) /
+                         static_cast<double>(job.spec().num_reduces);
+    for (const auto& [src, output] : job.map_output_by_rack()) {
+      const DataSize demand = output * share;
+      if (demand.is_zero()) continue;
+      auto [flow, created] =
+          job.coflow().add_demand(flow_ids_, src, rack, demand);
+      route_flow(job, *flow, created);
+    }
+  }
+  for (RackId rack : touched) try_start_reduce_computes(job, rack);
+}
+
+void SimulationDriver::route_flow(Job& job, Flow& flow, bool created) {
+  if (created) {
+    flow.set_path(net_.classify(flow));
+    COSCHED_DEBUG() << "job " << job.id() << " flow " << flow.src() << "->"
+                    << flow.dst() << " " << flow.size() << " via "
+                    << to_string(flow.path());
+    flows_in_fabric_.insert(flow.id());
+    if (flow.path() == FlowPath::kOcs) {
+      sunflow_.submit(job.coflow(), flow);
+    } else {
+      net_.eps().start_flow(flow, [this](Flow& f) { on_flow_complete(f); });
+    }
+    return;
+  }
+  if (flows_in_fabric_.count(flow.id()) > 0) {
+    // Demand grew while in flight; the path sticks (a flow that started
+    // small on the EPS does not get promoted — exactly the aggregation
+    // failure of overlapping schedulers the paper describes).
+    if (flow.path() == FlowPath::kOcs) {
+      sunflow_.demand_added(flow);
+    } else {
+      net_.eps().demand_added(flow);
+    }
+    return;
+  }
+  // Reopened: the flow had drained, and a late reduce added more demand.
+  flows_in_fabric_.insert(flow.id());
+  if (flow.path() == FlowPath::kOcs) {
+    sunflow_.submit(job.coflow(), flow);
+  } else {
+    net_.eps().start_flow(flow, [this](Flow& f) { on_flow_complete(f); });
+  }
+}
+
+void SimulationDriver::on_flow_complete(Flow& flow) {
+  flows_in_fabric_.erase(flow.id());
+  Job* job = job_by_id_.at(flow.job());
+  if (job->all_maps_done() && job->all_reduces_placed() &&
+      job->coflow().all_flows_complete() && !job->coflow().completed()) {
+    job->coflow().mark_completed(sim_.now());
+  }
+  try_start_reduce_computes(*job, flow.dst());
+}
+
+bool SimulationDriver::rack_fetch_done(const Job& job, RackId rack) const {
+  for (const auto& f : job.coflow().flows()) {
+    if (f->dst() == rack && !f->completed()) return false;
+  }
+  return true;
+}
+
+void SimulationDriver::try_start_reduce_computes(Job& job, RackId rack) {
+  if (!job.all_maps_done() || !job.shuffle_released()) return;
+  if (!rack_fetch_done(job, rack)) return;
+  for (Task& t : job.reduces()) {
+    if (t.state() != TaskState::kRunning || t.compute_started()) continue;
+    if (t.rack() != rack) continue;
+    t.begin_compute(sim_.now());
+    Job* jp = &job;
+    Task* tp = &t;
+    sim_.schedule_after(t.run_duration(),
+                        [this, jp, tp] { on_reduce_complete(*jp, *tp); });
+  }
+}
+
+void SimulationDriver::on_reduce_complete(Job& job, Task& task) {
+  task.complete(sim_.now());
+  remove_running(task.rack(), task);
+  cluster_.release_slot(task.rack(), task.node());
+  trem_.forget(task.id());
+  job.note_reduce_completed();
+  if (job.work_done()) finish_job(job);
+  request_dispatch();
+}
+
+void SimulationDriver::finish_job(Job& job) {
+  COSCHED_CHECK(!job.completed());
+  job.mark_completed(sim_.now());
+  last_completion_ = std::max(last_completion_, sim_.now());
+  ++jobs_completed_;
+  auto it = std::find(active_jobs_.begin(), active_jobs_.end(), &job);
+  COSCHED_CHECK(it != active_jobs_.end());
+  active_jobs_.erase(it);
+}
+
+bool SimulationDriver::break_deadlock() {
+  // The event queue drained with jobs incomplete: deferred jobs are holding
+  // containers with waiting reduces while their remaining reduces cannot be
+  // placed (plans pointing at saturated racks, or mutual container waits).
+  // Recovery: abandon plans and partially release placed reduces so they
+  // fetch, compute, and free their containers.
+  bool changed = false;
+  for (Job* job : active_jobs_) {
+    if (!job->all_maps_done() || job->spec().num_reduces == 0) continue;
+    if (job->all_reduces_placed()) continue;
+    if (job->has_reduce_plan()) {
+      job->clear_reduce_plan();
+      changed = true;
+    }
+    if (job->reduces_placed() > 0 && !job->shuffle_released()) {
+      sync_reduce_demand(*job);
+      changed = true;
+    }
+  }
+  if (changed) {
+    ++deadlock_breaks_;
+    COSCHED_WARN() << "deadlock breaker engaged (" << deadlock_breaks_
+                   << " total)";
+    request_dispatch();
+  }
+  return changed;
+}
+
+Duration SimulationDriver::estimate_availability(RackId rack,
+                                                 std::int64_t count) {
+  COSCHED_CHECK(count > 0);
+  if (count > cfg_.topo.slots_per_rack()) return Duration::infinity();
+  const std::int64_t free = cluster_.free_slots(rack);
+  if (free >= count) return Duration::zero();
+  const std::int64_t need = count - free;
+
+  std::vector<double> remaining_sec;
+  const auto& running = running_by_rack_[static_cast<std::size_t>(rack.value())];
+  remaining_sec.reserve(running.size());
+  for (Task* t : running) {
+    double est;
+    if (t->compute_started()) {
+      est = trem_.estimate(*t, sim_.now()).sec();
+    } else {
+      // A reduce still fetching: remaining = slowest incoming flow at an
+      // optimistic rate plus the compute phase, all through the same
+      // error model.
+      const Job* job = job_by_id_.at(t->job());
+      double fetch_sec = 0.0;
+      for (const auto& f : job->coflow().flows()) {
+        if (f->dst() != rack || f->completed()) continue;
+        const Bandwidth hint =
+            f->rate().in_bits_per_sec() > 0.0
+                ? f->rate()
+                : (f->path() == FlowPath::kOcs ? cfg_.topo.ocs_link
+                                               : cfg_.topo.eps_rack_link());
+        fetch_sec = std::max(fetch_sec,
+                             f->remaining_bits() / hint.in_bits_per_sec());
+      }
+      est = (t->compute_duration().sec() + fetch_sec) *
+            trem_.factor_for(t->id());
+    }
+    remaining_sec.push_back(std::max(est, 0.0));
+  }
+  if (static_cast<std::int64_t>(remaining_sec.size()) < need) {
+    // Should not happen (free + running == slots), but stay safe.
+    return Duration::infinity();
+  }
+  std::nth_element(remaining_sec.begin(),
+                   remaining_sec.begin() + (need - 1), remaining_sec.end());
+  return Duration::seconds(remaining_sec[static_cast<std::size_t>(need - 1)]);
+}
+
+}  // namespace cosched

@@ -1,0 +1,131 @@
+// SimulationDriver: the trace-driven flow-level event simulation that ties
+// together the cluster (containers), the hybrid network (EPS + OCS), the
+// coflow scheduler (Sunflow), and a pluggable job scheduler.
+//
+// Execution model
+// ---------------
+//  * Job arrival: the job's Job object is built, the scheduler places its
+//    input blocks and does admission planning, dispatch is requested.
+//  * Dispatch (coalesced per sim instant): racks with free containers are
+//    offered to the scheduler one container at a time (Algorithm 2's
+//    container-grant loop).
+//  * Map tasks compute for their trace duration (+ a deterministic remote-
+//    read penalty when not data-local) and report their output size to
+//    their rack on completion.
+//  * Reduce tasks occupy a container from placement. Their shuffle demand
+//    is aggregated per (map rack -> reduce rack) into the job's Coflow:
+//      - overlapping schedulers (Fair/Corral): a reduce's demand
+//        materializes once placed and all maps are done; flows start (and
+//        grow) incrementally, so they are classified small -> EPS;
+//      - deferring schedulers (Co-scheduler): the whole coflow is released
+//        once every reduce container is granted, so flows carry their full
+//        aggregated size and elephants ride the OCS (Section IV-A).
+//  * A reduce starts computing when every flow into its rack for its job
+//    has drained; the job completes when all reduces do. CCT is measured
+//    from coflow release to last flow completion.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/job.h"
+#include "cluster/trem_estimator.h"
+#include "coflow/sunflow.h"
+#include "common/rng.h"
+#include "metrics/metrics.h"
+#include "net/network.h"
+#include "sched/scheduler.h"
+#include "simcore/simulator.h"
+#include "workload/job_spec.h"
+
+namespace cosched {
+
+struct SimConfig {
+  HybridTopology topo;
+  /// Hadoop slow-start fraction for overlapping schedulers: the share of a
+  /// job's maps that must finish before its reduces may take containers.
+  /// Hadoop's default is 0.05 — the conventional overlap whose container
+  /// waste Section IV-A of the paper criticizes.
+  double reduce_slowstart = 0.05;
+  /// T_rem estimation error rate (Figure 7's knob).
+  double trem_error_rate = 0.0;
+  std::uint64_t seed = 1;
+};
+
+class SimulationDriver : public AvailabilityOracle {
+ public:
+  SimulationDriver(SimConfig cfg, std::vector<JobSpec> workload,
+                   std::unique_ptr<JobScheduler> scheduler);
+
+  /// Run the whole workload to completion and collect the metrics.
+  RunMetrics run();
+
+  // AvailabilityOracle: estimated delay until `count` containers are free
+  // simultaneously on `rack` (free now => zero).
+  Duration estimate_availability(RackId rack, std::int64_t count) override;
+
+ private:
+  SchedContext make_context();
+
+  void on_job_arrival(std::size_t workload_index);
+  void request_dispatch();
+  void dispatch();
+  void start_task(Job& job, Task& task, RackId rack);
+
+  void on_map_complete(Job& job, Task& task);
+  void on_reduce_complete(Job& job, Task& task);
+
+  /// Materialize shuffle demand for every placed-but-undemanded reduce of
+  /// `job` (idempotent; requires all maps done). The single entry point
+  /// for overlap-mode releases, defer-mode whole-coflow releases, and the
+  /// deadlock breaker's partial releases.
+  void sync_reduce_demand(Job& job);
+  /// Route a (new, grown, or reopened) flow into the right fabric.
+  void route_flow(Job& job, Flow& flow, bool created);
+  void on_flow_complete(Flow& flow);
+  /// Last-resort recovery: partially release shuffles of deferred jobs that
+  /// are mutually blocked on containers held by waiting reduces. Returns
+  /// true if it changed anything.
+  bool break_deadlock();
+
+  [[nodiscard]] bool rack_fetch_done(const Job& job, RackId rack) const;
+  void try_start_reduce_computes(Job& job, RackId rack);
+  void finish_job(Job& job);
+  void remove_running(RackId rack, Task& task);
+
+  SimConfig cfg_;
+  std::vector<JobSpec> workload_;
+  std::unique_ptr<JobScheduler> scheduler_;
+
+  Simulator sim_;
+  Network net_;
+  SunflowScheduler sunflow_;
+  Cluster cluster_;
+  Rng rng_;
+  TremEstimator trem_;
+
+  IdAllocator<TaskId> task_ids_;
+  IdAllocator<FlowId> flow_ids_;
+
+  std::vector<std::unique_ptr<Job>> jobs_;
+  std::unordered_map<JobId, Job*> job_by_id_;
+  std::vector<Job*> active_jobs_;
+
+  std::vector<std::vector<Task*>> running_by_rack_;
+  std::unordered_set<FlowId> flows_in_fabric_;
+  /// Reduce tasks per (job, rack) whose demand is already in the coflow.
+  std::unordered_map<JobId, std::map<RackId, std::int32_t>> demanded_;
+  std::int64_t deadlock_breaks_ = 0;
+
+  bool dispatch_scheduled_ = false;
+  bool heartbeat_scheduled_ = false;
+  std::int64_t pending_tasks_ = 0;
+  std::int32_t dispatch_rotation_ = 0;
+  SimTime last_completion_ = SimTime::zero();
+  std::int64_t jobs_completed_ = 0;
+};
+
+}  // namespace cosched

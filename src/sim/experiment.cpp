@@ -1,0 +1,75 @@
+#include "sim/experiment.h"
+
+#include "common/check.h"
+#include "sched/corral.h"
+#include "sched/coscheduler.h"
+#include "sched/delay.h"
+#include "sched/fair.h"
+
+namespace cosched {
+
+SchedulerFactory make_scheduler_factory(const std::string& name) {
+  if (name == "fair") {
+    return [] { return std::make_unique<FairScheduler>(); };
+  }
+  if (name == "corral") {
+    return [] { return std::make_unique<CorralScheduler>(); };
+  }
+  if (name == "delay") {
+    return [] { return std::make_unique<DelayScheduler>(); };
+  }
+  if (name == "coscheduler") {
+    return [] { return std::make_unique<CoScheduler>(); };
+  }
+  if (name == "mts+ocas") {
+    return [] {
+      CoScheduler::Options opts;
+      opts.enable_reduce_planning = false;
+      return std::make_unique<CoScheduler>(opts);
+    };
+  }
+  if (name == "ocas") {
+    return [] {
+      CoScheduler::Options opts;
+      opts.enable_mts = false;
+      opts.enable_reduce_planning = false;
+      return std::make_unique<CoScheduler>(opts);
+    };
+  }
+  COSCHED_CHECK_MSG(false, "unknown scheduler: " << name);
+  return {};
+}
+
+RunMetrics run_once(const ExperimentConfig& cfg,
+                    const SchedulerFactory& factory, std::int32_t rep) {
+  Rng workload_rng =
+      Rng(cfg.base_seed).fork(static_cast<std::uint64_t>(rep) + 1);
+  std::vector<JobSpec> jobs = generate_workload(cfg.workload, workload_rng);
+
+  SimConfig sim_cfg = cfg.sim;
+  sim_cfg.seed = cfg.base_seed + static_cast<std::uint64_t>(rep) * 1000003ULL;
+  SimulationDriver driver(sim_cfg, std::move(jobs), factory());
+  return driver.run();
+}
+
+AggregateMetrics run_experiment(const ExperimentConfig& cfg,
+                                const SchedulerFactory& factory) {
+  COSCHED_CHECK(cfg.repetitions >= 1);
+  AggregateMetrics agg;
+  for (std::int32_t rep = 0; rep < cfg.repetitions; ++rep) {
+    agg.add(run_once(cfg, factory, rep));
+  }
+  return agg;
+}
+
+std::vector<AggregateMetrics> compare_schedulers(
+    const ExperimentConfig& cfg, const std::vector<std::string>& names) {
+  std::vector<AggregateMetrics> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    out.push_back(run_experiment(cfg, make_scheduler_factory(name)));
+  }
+  return out;
+}
+
+}  // namespace cosched

@@ -1,0 +1,50 @@
+// Experiment harness: repeated simulation runs over freshly generated
+// workloads, aggregated per scheduler — the machinery behind every figure
+// reproduction in bench/.
+//
+// Each repetition r uses an independently forked RNG stream for workload
+// generation and seed base_seed + r for the simulation, so schedulers are
+// compared on identical workloads within a repetition (paired comparison,
+// as in the paper's normalized plots).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.h"
+#include "sched/scheduler.h"
+#include "sim/driver.h"
+#include "workload/generator.h"
+
+namespace cosched {
+
+using SchedulerFactory = std::function<std::unique_ptr<JobScheduler>()>;
+
+struct ExperimentConfig {
+  SimConfig sim;
+  WorkloadConfig workload;
+  std::int32_t repetitions = 5;
+  std::uint64_t base_seed = 42;
+};
+
+/// Build one of the standard schedulers by name: "fair", "corral",
+/// "coscheduler", "mts+ocas", "ocas". Throws on unknown names.
+[[nodiscard]] SchedulerFactory make_scheduler_factory(const std::string& name);
+
+/// One run: a single repetition of `factory`'s scheduler on the workload
+/// of repetition `rep`.
+[[nodiscard]] RunMetrics run_once(const ExperimentConfig& cfg,
+                                  const SchedulerFactory& factory,
+                                  std::int32_t rep);
+
+/// All repetitions for one scheduler.
+[[nodiscard]] AggregateMetrics run_experiment(const ExperimentConfig& cfg,
+                                              const SchedulerFactory& factory);
+
+/// Paired comparison across schedulers (same workloads per repetition).
+[[nodiscard]] std::vector<AggregateMetrics> compare_schedulers(
+    const ExperimentConfig& cfg, const std::vector<std::string>& names);
+
+}  // namespace cosched

@@ -1,0 +1,57 @@
+#include "simcore/simulator.h"
+
+#include "common/log.h"
+
+namespace cosched {
+
+EventHandle Simulator::schedule_at(SimTime when, std::function<void()> action) {
+  COSCHED_CHECK_MSG(when >= now_, "event scheduled in the past: " << when
+                                                                  << " < "
+                                                                  << now_);
+  COSCHED_CHECK(when.is_finite());
+  auto rec = std::make_shared<detail::EventRecord>();
+  rec->when = when;
+  rec->seq = next_seq_++;
+  rec->action = std::move(action);
+  queue_.push(rec);
+  return EventHandle{rec};
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    auto rec = queue_.top();
+    queue_.pop();
+    if (rec->cancelled) continue;
+    now_ = rec->when;
+    ++events_executed_;
+    if (events_executed_ % 1000000 == 0) {
+      COSCHED_INFO() << "simulator: " << events_executed_ << " events, "
+                     << now_ << ", " << queue_.size() << " queued";
+    }
+    // Move the action out so the record can be freed even if the action
+    // schedules further events.
+    auto action = std::move(rec->action);
+    action();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty()) {
+    auto& top = queue_.top();
+    if (top->cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (top->when > deadline) return;
+    step();
+  }
+}
+
+}  // namespace cosched

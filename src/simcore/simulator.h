@@ -1,0 +1,115 @@
+// Discrete-event simulation engine.
+//
+// A Simulator owns a priority queue of timestamped events. Events with equal
+// timestamps fire in scheduling order (a monotonically increasing sequence
+// number breaks ties), which makes every run deterministic.
+//
+// Scheduling returns an EventHandle that can cancel the event; cancellation
+// is O(1) (the event is tombstoned and skipped when popped). This is the
+// mechanism the flow-level network model uses to re-plan flow completion
+// times whenever rates change.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace cosched {
+
+class Simulator;
+
+namespace detail {
+
+struct EventRecord {
+  SimTime when;
+  std::uint64_t seq = 0;
+  std::function<void()> action;
+  bool cancelled = false;
+};
+
+struct EventLater {
+  bool operator()(const std::shared_ptr<EventRecord>& a,
+                  const std::shared_ptr<EventRecord>& b) const {
+    if (a->when != b->when) return a->when > b->when;
+    return a->seq > b->seq;
+  }
+};
+
+}  // namespace detail
+
+/// Cancellation token for a scheduled event. Default-constructed handles are
+/// inert; cancel() on an already-fired or already-cancelled event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevent the event from firing. Safe to call repeatedly.
+  void cancel() {
+    if (auto rec = record_.lock()) rec->cancelled = true;
+  }
+
+  /// True if the event is still queued and will fire.
+  [[nodiscard]] bool pending() const {
+    auto rec = record_.lock();
+    return rec != nullptr && !rec->cancelled;
+  }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::weak_ptr<detail::EventRecord> rec)
+      : record_(std::move(rec)) {}
+  std::weak_ptr<detail::EventRecord> record_;
+};
+
+/// The event loop. Single-threaded; all model code runs inside callbacks.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `action` at absolute time `when` (>= now).
+  EventHandle schedule_at(SimTime when, std::function<void()> action);
+
+  /// Schedule `action` after `delay` (>= 0).
+  EventHandle schedule_after(Duration delay, std::function<void()> action) {
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Run the next pending event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains.
+  void run();
+
+  /// Run until the queue drains or simulated time passes `deadline`.
+  /// Events scheduled at exactly `deadline` do fire.
+  void run_until(SimTime deadline);
+
+  /// Number of events executed so far (diagnostics).
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return events_executed_;
+  }
+
+  /// Number of events currently queued, including tombstones.
+  [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
+
+ private:
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::priority_queue<std::shared_ptr<detail::EventRecord>,
+                      std::vector<std::shared_ptr<detail::EventRecord>>,
+                      detail::EventLater>
+      queue_;
+};
+
+}  // namespace cosched

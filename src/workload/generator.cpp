@@ -1,0 +1,132 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cosched {
+
+void WorkloadConfig::validate() const {
+  COSCHED_CHECK(num_jobs > 0);
+  COSCHED_CHECK(num_users > 0);
+  COSCHED_CHECK(arrival_window >= Duration::zero());
+  COSCHED_CHECK(shuffle_heavy_fraction >= 0.0 &&
+                shuffle_heavy_fraction <= 1.0);
+  COSCHED_CHECK(elephant_threshold > DataSize::zero());
+  COSCHED_CHECK(block_size > DataSize::zero());
+  COSCHED_CHECK(min_input > DataSize::zero());
+  COSCHED_CHECK(max_input > min_input);
+  COSCHED_CHECK(max_maps >= 1);
+  COSCHED_CHECK(max_reduces >= 1);
+  COSCHED_CHECK(shuffle_per_reduce > DataSize::zero());
+}
+
+namespace {
+
+DataSize clamp_size(DataSize v, DataSize lo, DataSize hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+Duration sample_duration(Rng& rng, double mu, double sigma) {
+  // Floor at one second: a zero-length task would vanish from container
+  // accounting and no real MapReduce task is that short.
+  return Duration::seconds(std::max(1.0, rng.lognormal(mu, sigma)));
+}
+
+}  // namespace
+
+std::vector<JobSpec> generate_workload(const WorkloadConfig& cfg, Rng& rng) {
+  cfg.validate();
+  std::vector<JobSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>(cfg.num_jobs));
+
+  for (std::int32_t j = 0; j < cfg.num_jobs; ++j) {
+    JobSpec spec;
+    spec.id = JobId{j};
+    spec.user = UserId{rng.uniform_int(0, cfg.num_users - 1)};
+    spec.arrival = SimTime::zero() +
+                   Duration::seconds(rng.uniform(
+                       0.0, std::max(cfg.arrival_window.sec(), 1e-9)));
+
+    const bool heavy = rng.bernoulli(cfg.shuffle_heavy_fraction);
+    if (heavy) {
+      spec.input_size = clamp_size(
+          DataSize::gigabytes(
+              rng.lognormal(cfg.heavy_input_mu, cfg.heavy_input_sigma)),
+          cfg.min_input, cfg.max_input);
+      spec.sir = rng.lognormal(cfg.heavy_sir_mu, cfg.heavy_sir_sigma);
+      // Guarantee the class contract: shuffle size >= elephant threshold.
+      if (spec.shuffle_size() < cfg.elephant_threshold) {
+        spec.sir = 1.05 * (cfg.elephant_threshold / spec.input_size);
+      }
+    } else {
+      spec.input_size = clamp_size(
+          DataSize::gigabytes(
+              rng.lognormal(cfg.light_input_mu, cfg.light_input_sigma)),
+          cfg.min_input, cfg.max_input);
+      spec.sir = rng.lognormal(cfg.light_sir_mu, cfg.light_sir_sigma);
+      // Guarantee the class contract: shuffle size < elephant threshold.
+      if (spec.shuffle_size() >= cfg.elephant_threshold) {
+        spec.sir = 0.95 * (cfg.elephant_threshold / spec.input_size);
+      }
+    }
+
+    const auto blocks = static_cast<std::int32_t>(
+        (spec.input_size.in_bytes() + cfg.block_size.in_bytes() - 1) /
+        cfg.block_size.in_bytes());
+    spec.num_maps = std::clamp(blocks, 1, cfg.max_maps);
+
+    if (heavy) {
+      const auto reducers = static_cast<std::int32_t>(std::ceil(
+          spec.shuffle_size() / cfg.shuffle_per_reduce));
+      spec.num_reduces = std::clamp(reducers, 1, cfg.max_reduces);
+    } else {
+      // Small jobs: 0-4 reduces; some are map-only.
+      spec.num_reduces =
+          static_cast<std::int32_t>(rng.uniform_int(0, 4));
+    }
+
+    spec.map_durations.reserve(static_cast<std::size_t>(spec.num_maps));
+    for (std::int32_t t = 0; t < spec.num_maps; ++t) {
+      spec.map_durations.push_back(
+          sample_duration(rng, cfg.map_duration_mu, cfg.map_duration_sigma));
+    }
+    spec.reduce_durations.reserve(static_cast<std::size_t>(spec.num_reduces));
+    for (std::int32_t t = 0; t < spec.num_reduces; ++t) {
+      spec.reduce_durations.push_back(sample_duration(
+          rng, cfg.reduce_duration_mu, cfg.reduce_duration_sigma));
+    }
+
+    spec.validate();
+    jobs.push_back(std::move(spec));
+  }
+
+  // Present jobs in arrival order; the driver expects it and it makes
+  // traces human-scannable.
+  std::sort(jobs.begin(), jobs.end(), [](const JobSpec& a, const JobSpec& b) {
+    if (a.arrival != b.arrival) return a.arrival < b.arrival;
+    return a.id < b.id;
+  });
+  return jobs;
+}
+
+WorkloadStats compute_stats(const std::vector<JobSpec>& jobs,
+                            DataSize elephant_threshold) {
+  WorkloadStats s;
+  s.num_jobs = static_cast<std::int64_t>(jobs.size());
+  bool first = true;
+  for (const JobSpec& j : jobs) {
+    if (j.shuffle_heavy(elephant_threshold)) ++s.num_shuffle_heavy;
+    s.total_map_tasks += j.num_maps;
+    s.total_reduce_tasks += j.num_reduces;
+    s.total_input += j.input_size;
+    s.total_shuffle += j.shuffle_size();
+    if (first || j.arrival < s.first_arrival) s.first_arrival = j.arrival;
+    if (first || j.arrival > s.last_arrival) s.last_arrival = j.arrival;
+    first = false;
+  }
+  return s;
+}
+
+}  // namespace cosched

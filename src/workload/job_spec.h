@@ -1,0 +1,60 @@
+// Static description of one MapReduce job, as recorded in a trace.
+//
+// This is the simulator's stand-in for the SWIM Facebook trace replay logs
+// the paper uses (which are not publicly redistributable): every quantity
+// the schedulers consume — input size, shuffle-to-input ratio, task counts,
+// per-task compute durations — is explicit here, so a synthetic trace with
+// the published marginals exercises exactly the same code paths.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace cosched {
+
+struct JobSpec {
+  JobId id;
+  UserId user;
+  SimTime arrival = SimTime::zero();
+
+  std::int32_t num_maps = 1;
+  std::int32_t num_reduces = 1;
+
+  /// Total input data size; each map task reads one block of
+  /// input_size / num_maps.
+  DataSize input_size;
+
+  /// Shuffle-to-input ratio actually realized by the job's map output.
+  double sir = 1.0;
+
+  /// Per-map compute duration (excludes any remote-read penalty), one entry
+  /// per map task.
+  std::vector<Duration> map_durations;
+
+  /// Per-reduce compute duration (excludes shuffle fetch), one entry per
+  /// reduce task.
+  std::vector<Duration> reduce_durations;
+
+  [[nodiscard]] DataSize block_size() const {
+    return input_size / std::max<std::int64_t>(1, num_maps);
+  }
+
+  [[nodiscard]] DataSize shuffle_size() const { return input_size * sir; }
+
+  /// Shuffle data produced by one map task, split evenly over reduces.
+  [[nodiscard]] DataSize map_output_size() const {
+    return shuffle_size() / std::max<std::int64_t>(1, num_maps);
+  }
+
+  /// The paper's definition: shuffle-heavy iff the job's shuffle data size
+  /// is at least the elephant-flow threshold.
+  [[nodiscard]] bool shuffle_heavy(DataSize elephant_threshold) const {
+    return num_reduces > 0 && shuffle_size() >= elephant_threshold;
+  }
+
+  void validate() const;
+};
+
+}  // namespace cosched

@@ -1,0 +1,108 @@
+#include "workload/trace_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cosched {
+
+namespace {
+
+constexpr const char* kHeader =
+    "job_id,user_id,arrival_sec,num_maps,num_reduces,input_bytes,sir,"
+    "map_durations_sec,reduce_durations_sec";
+
+std::string join_durations(const std::vector<Duration>& ds) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (i > 0) os << ';';
+    os << ds[i].sec();
+  }
+  return os.str();
+}
+
+std::vector<Duration> split_durations(const std::string& s) {
+  std::vector<Duration> out;
+  if (s.empty()) return out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, ';')) {
+    COSCHED_CHECK_MSG(!item.empty(), "empty duration in trace");
+    out.push_back(Duration::seconds(std::stod(item)));
+  }
+  return out;
+}
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::istringstream is(line);
+  std::string field;
+  while (std::getline(is, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const std::vector<JobSpec>& jobs) {
+  os << kHeader << "\n";
+  os << std::setprecision(17);
+  for (const JobSpec& j : jobs) {
+    j.validate();
+    os << j.id.value() << ',' << j.user.value() << ',' << j.arrival.sec()
+       << ',' << j.num_maps << ',' << j.num_reduces << ','
+       << j.input_size.in_bytes() << ',' << j.sir << ','
+       << join_durations(j.map_durations) << ','
+       << join_durations(j.reduce_durations) << "\n";
+  }
+  COSCHED_CHECK_MSG(os.good(), "trace write failed");
+}
+
+std::vector<JobSpec> read_trace(std::istream& is) {
+  std::string line;
+  COSCHED_CHECK_MSG(std::getline(is, line), "empty trace");
+  COSCHED_CHECK_MSG(line == kHeader, "unrecognized trace header: " << line);
+  std::vector<JobSpec> jobs;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    // A trailing duration field may legitimately be empty (map-only jobs);
+    // split_csv drops a trailing empty field, so re-add it.
+    std::vector<std::string> f = split_csv(line);
+    if (f.size() == 8) f.push_back("");
+    COSCHED_CHECK_MSG(f.size() == 9,
+                      "trace line " << line_no << ": expected 9 fields, got "
+                                    << f.size());
+    JobSpec j;
+    j.id = JobId{std::stoll(f[0])};
+    j.user = UserId{std::stoll(f[1])};
+    j.arrival = SimTime::seconds(std::stod(f[2]));
+    j.num_maps = static_cast<std::int32_t>(std::stol(f[3]));
+    j.num_reduces = static_cast<std::int32_t>(std::stol(f[4]));
+    j.input_size = DataSize::bytes(std::stoll(f[5]));
+    j.sir = std::stod(f[6]);
+    j.map_durations = split_durations(f[7]);
+    j.reduce_durations = split_durations(f[8]);
+    j.validate();
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+void write_trace_file(const std::string& path,
+                      const std::vector<JobSpec>& jobs) {
+  std::ofstream os(path);
+  COSCHED_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
+  write_trace(os, jobs);
+}
+
+std::vector<JobSpec> read_trace_file(const std::string& path) {
+  std::ifstream is(path);
+  COSCHED_CHECK_MSG(is.is_open(), "cannot open " << path);
+  return read_trace(is);
+}
+
+}  // namespace cosched

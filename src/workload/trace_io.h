@@ -1,0 +1,28 @@
+// Trace serialization: read/write a workload as a CSV file.
+//
+// Format (one job per line, header required):
+//   job_id,user_id,arrival_sec,num_maps,num_reduces,input_bytes,sir,
+//   map_durations_sec,reduce_durations_sec
+// where the duration columns are ';'-separated lists in seconds.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/job_spec.h"
+
+namespace cosched {
+
+/// Serialize to a stream. Throws CheckFailure on invalid specs.
+void write_trace(std::ostream& os, const std::vector<JobSpec>& jobs);
+
+/// Parse from a stream. Throws CheckFailure on malformed input.
+[[nodiscard]] std::vector<JobSpec> read_trace(std::istream& is);
+
+/// Convenience file wrappers.
+void write_trace_file(const std::string& path,
+                      const std::vector<JobSpec>& jobs);
+[[nodiscard]] std::vector<JobSpec> read_trace_file(const std::string& path);
+
+}  // namespace cosched

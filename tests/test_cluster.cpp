@@ -1,0 +1,311 @@
+// Unit tests for the cluster module: slot accounting, task lifecycle,
+// block-placement policies, Job bookkeeping, T_rem estimation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/block_placement.h"
+#include "cluster/cluster.h"
+#include "cluster/job.h"
+#include "cluster/task.h"
+#include "cluster/trem_estimator.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cosched {
+namespace {
+
+HybridTopology tiny_topo() {
+  HybridTopology t;
+  t.num_racks = 4;
+  t.servers_per_rack = 2;
+  t.slots_per_server = 3;
+  return t;
+}
+
+// -------------------------------------------------------------- cluster ---
+
+TEST(Cluster, InitialCapacity) {
+  Cluster c(tiny_topo());
+  EXPECT_EQ(c.num_racks(), 4);
+  EXPECT_EQ(c.slots_per_rack(), 6);
+  EXPECT_EQ(c.total_free_slots(), 24);
+  EXPECT_EQ(c.free_slots(RackId{0}), 6);
+  EXPECT_EQ(c.used_slots(RackId{0}), 0);
+}
+
+TEST(Cluster, AllocateReleaseRoundTrip) {
+  Cluster c(tiny_topo());
+  const NodeId n = c.allocate_slot(RackId{1});
+  EXPECT_EQ(c.free_slots(RackId{1}), 5);
+  EXPECT_EQ(c.total_free_slots(), 23);
+  c.release_slot(RackId{1}, n);
+  EXPECT_EQ(c.free_slots(RackId{1}), 6);
+  EXPECT_EQ(c.total_free_slots(), 24);
+}
+
+TEST(Cluster, BalancesAcrossServers) {
+  Cluster c(tiny_topo());
+  const NodeId a = c.allocate_slot(RackId{0});
+  const NodeId b = c.allocate_slot(RackId{0});
+  EXPECT_NE(a, b);  // second allocation goes to the other (emptier) server
+}
+
+TEST(Cluster, ExhaustionThrows) {
+  Cluster c(tiny_topo());
+  for (int i = 0; i < 6; ++i) (void)c.allocate_slot(RackId{2});
+  EXPECT_EQ(c.free_slots(RackId{2}), 0);
+  EXPECT_THROW((void)c.allocate_slot(RackId{2}), CheckFailure);
+}
+
+TEST(Cluster, DoubleReleaseThrows) {
+  Cluster c(tiny_topo());
+  const NodeId n = c.allocate_slot(RackId{0});
+  c.release_slot(RackId{0}, n);
+  EXPECT_THROW(c.release_slot(RackId{0}, n), CheckFailure);
+}
+
+TEST(Cluster, ReleaseOnWrongRackThrows) {
+  Cluster c(tiny_topo());
+  const NodeId n = c.allocate_slot(RackId{0});
+  EXPECT_THROW(c.release_slot(RackId{3}, n), CheckFailure);
+}
+
+// ----------------------------------------------------------------- task ---
+
+TEST(Task, MapLifecycle) {
+  Task t(TaskId{0}, JobId{0}, TaskKind::kMap, 0, Duration::seconds(10));
+  EXPECT_EQ(t.state(), TaskState::kPending);
+  t.place(RackId{1}, NodeId{3}, SimTime::seconds(5));
+  EXPECT_EQ(t.state(), TaskState::kRunning);
+  EXPECT_TRUE(t.compute_started());
+  EXPECT_NEAR(t.true_remaining(SimTime::seconds(9)).sec(), 6.0, 1e-12);
+  t.complete(SimTime::seconds(15));
+  EXPECT_EQ(t.state(), TaskState::kCompleted);
+}
+
+TEST(Task, ReduceWaitsForShuffleBeforeComputing) {
+  Task t(TaskId{0}, JobId{0}, TaskKind::kReduce, 0, Duration::seconds(20));
+  t.place(RackId{0}, NodeId{0}, SimTime::seconds(0));
+  EXPECT_FALSE(t.compute_started());
+  t.begin_compute(SimTime::seconds(30));
+  EXPECT_TRUE(t.compute_started());
+  EXPECT_NEAR(t.true_remaining(SimTime::seconds(35)).sec(), 15.0, 1e-12);
+  t.complete(SimTime::seconds(50));
+}
+
+TEST(Task, ReadPenaltyExtendsRun) {
+  Task t(TaskId{0}, JobId{0}, TaskKind::kMap, 0, Duration::seconds(10));
+  t.set_read_penalty(Duration::seconds(2));
+  EXPECT_NEAR(t.run_duration().sec(), 12.0, 1e-12);
+}
+
+TEST(Task, CompleteBeforeComputeThrows) {
+  Task t(TaskId{0}, JobId{0}, TaskKind::kReduce, 0, Duration::seconds(1));
+  t.place(RackId{0}, NodeId{0}, SimTime::zero());
+  EXPECT_THROW(t.complete(SimTime::seconds(1)), CheckFailure);
+}
+
+// ------------------------------------------------------------ placement ---
+
+TEST(BlockPlacement, RandomReplicasAreDistinctRacks) {
+  Rng rng(1);
+  const auto blocks = place_blocks_random(50, 10, 3, rng);
+  ASSERT_EQ(blocks.size(), 50u);
+  for (const auto& b : blocks) {
+    ASSERT_EQ(b.racks.size(), 3u);
+    std::set<RackId> uniq(b.racks.begin(), b.racks.end());
+    EXPECT_EQ(uniq.size(), 3u);
+    for (RackId r : b.racks) EXPECT_LT(r.value(), 10);
+  }
+}
+
+TEST(BlockPlacement, RandomClampsReplicationToRackCount) {
+  Rng rng(1);
+  const auto blocks = place_blocks_random(5, 2, 3, rng);
+  for (const auto& b : blocks) EXPECT_EQ(b.racks.size(), 2u);
+}
+
+TEST(BlockPlacement, ClusteredSetsAreDisjointAndEven) {
+  Rng rng(2);
+  std::vector<std::vector<RackId>> sets;
+  const auto blocks = place_blocks_clustered(40, 30, 3, 4, rng, &sets);
+  ASSERT_EQ(sets.size(), 3u);
+  std::set<RackId> all;
+  for (const auto& set : sets) {
+    EXPECT_EQ(set.size(), 4u);
+    all.insert(set.begin(), set.end());
+  }
+  EXPECT_EQ(all.size(), 12u) << "replica sets must be disjoint";
+
+  // Replica k of every block lands in set k, spread evenly.
+  for (std::size_t k = 0; k < 3; ++k) {
+    std::map<RackId, int> counts;
+    for (const auto& b : blocks) ++counts[b.racks[k]];
+    for (const auto& [rack, n] : counts) {
+      EXPECT_EQ(n, 10);  // 40 blocks over 4 racks
+      EXPECT_NE(std::find(sets[k].begin(), sets[k].end(), rack),
+                sets[k].end());
+    }
+  }
+}
+
+TEST(BlockPlacement, ClusteredClampsWhenSetsDoNotFit) {
+  Rng rng(3);
+  std::vector<std::vector<RackId>> sets;
+  // r_data=10 with 9 racks and replication 3 -> clamp to 3 per set.
+  const auto blocks = place_blocks_clustered(10, 9, 3, 10, rng, &sets);
+  EXPECT_EQ(sets.size(), 3u);
+  for (const auto& set : sets) EXPECT_EQ(set.size(), 3u);
+  EXPECT_EQ(blocks.size(), 10u);
+}
+
+TEST(BlockPlacement, OnRacksConfinesReplicas) {
+  Rng rng(4);
+  const std::vector<RackId> racks{RackId{2}, RackId{5}, RackId{7}};
+  const auto blocks = place_blocks_on_racks(20, racks, 3, rng);
+  for (const auto& b : blocks) {
+    for (RackId r : b.racks) {
+      EXPECT_NE(std::find(racks.begin(), racks.end(), r), racks.end());
+    }
+  }
+}
+
+// ------------------------------------------------------------------ job ---
+
+JobSpec simple_spec(std::int32_t maps, std::int32_t reduces) {
+  JobSpec s;
+  s.id = JobId{7};
+  s.user = UserId{1};
+  s.num_maps = maps;
+  s.num_reduces = reduces;
+  s.input_size = DataSize::gigabytes(maps);  // 1 GB blocks
+  s.sir = 2.0;
+  s.map_durations.assign(static_cast<std::size_t>(maps),
+                         Duration::seconds(10));
+  s.reduce_durations.assign(static_cast<std::size_t>(reduces),
+                            Duration::seconds(20));
+  return s;
+}
+
+TEST(Job, ConstructionBuildsTasks) {
+  IdAllocator<TaskId> ids;
+  Job job(simple_spec(4, 2), DataSize::gigabytes(1.125), ids, CoflowId{7});
+  EXPECT_EQ(job.maps().size(), 4u);
+  EXPECT_EQ(job.reduces().size(), 2u);
+  EXPECT_TRUE(job.shuffle_heavy());  // 4 GB * 2.0 = 8 GB >= 1.125 GB
+  EXPECT_FALSE(job.all_maps_done());
+  EXPECT_FALSE(job.has_block_placement());
+}
+
+TEST(Job, LocalityIndexFindsPendingMaps) {
+  IdAllocator<TaskId> ids;
+  Job job(simple_spec(3, 0), DataSize::gigabytes(100), ids, CoflowId{7});
+  std::vector<BlockReplicas> blocks(3);
+  blocks[0].racks = {RackId{0}, RackId{1}};
+  blocks[1].racks = {RackId{1}, RackId{2}};
+  blocks[2].racks = {RackId{2}, RackId{0}};
+  job.set_block_placement(blocks);
+
+  EXPECT_TRUE(job.map_local_on(0, RackId{1}));
+  EXPECT_FALSE(job.map_local_on(0, RackId{2}));
+
+  Task* t = job.next_pending_map_local(RackId{1});
+  ASSERT_NE(t, nullptr);
+  EXPECT_TRUE(job.map_local_on(t->index(), RackId{1}));
+
+  // Placing it removes it from all rack queues (lazily).
+  t->place(RackId{1}, NodeId{0}, SimTime::zero());
+  Task* t2 = job.next_pending_map_local(RackId{1});
+  ASSERT_NE(t2, nullptr);
+  EXPECT_NE(t2->index(), t->index());
+}
+
+TEST(Job, NextPendingMapAnyWalksAllMaps) {
+  IdAllocator<TaskId> ids;
+  Job job(simple_spec(3, 0), DataSize::gigabytes(100), ids, CoflowId{7});
+  Rng rng(1);
+  job.set_block_placement(place_blocks_random(3, 4, 2, rng));
+  std::set<std::int32_t> seen;
+  while (Task* t = job.next_pending_map_any()) {
+    seen.insert(t->index());
+    t->place(RackId{0}, NodeId{0}, SimTime::zero());
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Job, ReducePlanAccounting) {
+  IdAllocator<TaskId> ids;
+  Job job(simple_spec(2, 4), DataSize::gigabytes(1.125), ids, CoflowId{7});
+  job.set_reduce_plan({{RackId{0}, 3}, {RackId{1}, 1}}, Duration::seconds(5));
+  EXPECT_TRUE(job.has_reduce_plan());
+  EXPECT_EQ(job.reduce_plan_remaining(RackId{0}), 3);
+  EXPECT_EQ(job.reduce_plan_remaining(RackId{2}), 0);
+  job.note_reduce_placed(RackId{0});
+  EXPECT_EQ(job.reduce_plan_remaining(RackId{0}), 2);
+  job.clear_reduce_plan();
+  EXPECT_FALSE(job.has_reduce_plan());
+}
+
+TEST(Job, MapCompletionBookkeeping) {
+  IdAllocator<TaskId> ids;
+  Job job(simple_spec(2, 1), DataSize::gigabytes(1.125), ids, CoflowId{7});
+  job.note_map_placed(RackId{3});
+  job.note_map_completed(RackId{3}, DataSize::gigabytes(2));
+  job.note_map_placed(RackId{3});
+  job.note_map_completed(RackId{3}, DataSize::gigabytes(2));
+  EXPECT_TRUE(job.all_maps_done());
+  EXPECT_EQ(job.map_racks_used().size(), 1u);
+  EXPECT_NEAR(job.map_output_by_rack().at(RackId{3}).in_gigabytes(), 4.0,
+              1e-9);
+}
+
+TEST(Job, PreferredRacksDefaultAllowsEverything) {
+  IdAllocator<TaskId> ids;
+  Job job(simple_spec(1, 0), DataSize::gigabytes(1), ids, CoflowId{7});
+  EXPECT_TRUE(job.rack_preferred(RackId{9}));
+  job.set_preferred_racks({RackId{1}});
+  EXPECT_TRUE(job.rack_preferred(RackId{1}));
+  EXPECT_FALSE(job.rack_preferred(RackId{9}));
+}
+
+// ------------------------------------------------------------------ trem ---
+
+TEST(Trem, ZeroErrorIsExact) {
+  TremEstimator est(Rng(1), 0.0);
+  Task t(TaskId{5}, JobId{0}, TaskKind::kMap, 0, Duration::seconds(100));
+  t.place(RackId{0}, NodeId{0}, SimTime::zero());
+  EXPECT_NEAR(est.estimate(t, SimTime::seconds(40)).sec(), 60.0, 1e-12);
+}
+
+TEST(Trem, ErrorFactorIsStablePerTask) {
+  TremEstimator est(Rng(1), 0.5);
+  Task t(TaskId{5}, JobId{0}, TaskKind::kMap, 0, Duration::seconds(100));
+  t.place(RackId{0}, NodeId{0}, SimTime::zero());
+  const double f = est.factor_for(t.id());
+  EXPECT_GE(f, 0.5);
+  EXPECT_LE(f, 1.5);
+  EXPECT_DOUBLE_EQ(est.factor_for(t.id()), f);
+  EXPECT_NEAR(est.estimate(t, SimTime::seconds(40)).sec(), 60.0 * f, 1e-9);
+}
+
+TEST(Trem, FactorsBoundedByErrorRate) {
+  TremEstimator est(Rng(2), 0.3);
+  for (int i = 0; i < 100; ++i) {
+    const double f = est.factor_for(TaskId{i});
+    EXPECT_GE(f, 0.7);
+    EXPECT_LE(f, 1.3);
+  }
+}
+
+TEST(Trem, ForgetResamples) {
+  TremEstimator est(Rng(3), 0.5);
+  const double f1 = est.factor_for(TaskId{1});
+  est.forget(TaskId{1});
+  // Resampled factor comes from a later RNG draw — in general different.
+  const double f2 = est.factor_for(TaskId{1});
+  EXPECT_NE(f1, f2);
+}
+
+}  // namespace
+}  // namespace cosched

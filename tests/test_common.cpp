@@ -1,0 +1,292 @@
+// Unit tests for src/common: units, ids, rng, stats, check macros.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace cosched {
+namespace {
+
+// ---------------------------------------------------------------- units ---
+
+TEST(Units, DurationConstructorsAgree) {
+  EXPECT_DOUBLE_EQ(Duration::seconds(1.5).sec(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::milliseconds(10).sec(), 0.01);
+  EXPECT_DOUBLE_EQ(Duration::microseconds(5).sec(), 5e-6);
+  EXPECT_DOUBLE_EQ(Duration::minutes(90).sec(), 5400.0);
+  EXPECT_DOUBLE_EQ(Duration::hours(2).sec(), 7200.0);
+}
+
+TEST(Units, DurationArithmetic) {
+  const Duration a = Duration::seconds(2.0);
+  const Duration b = Duration::seconds(0.5);
+  EXPECT_DOUBLE_EQ((a + b).sec(), 2.5);
+  EXPECT_DOUBLE_EQ((a - b).sec(), 1.5);
+  EXPECT_DOUBLE_EQ((a * 3.0).sec(), 6.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).sec(), 0.5);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);
+  EXPECT_LT(b, a);
+  EXPECT_TRUE(Duration::infinity() > a);
+  EXPECT_FALSE(Duration::infinity().is_finite());
+}
+
+TEST(Units, SimTimeAndDurationInterplay) {
+  const SimTime t0 = SimTime::zero();
+  const SimTime t1 = t0 + Duration::seconds(10);
+  EXPECT_DOUBLE_EQ((t1 - t0).sec(), 10.0);
+  EXPECT_DOUBLE_EQ((t1 - Duration::seconds(4)).sec(), 6.0);
+  EXPECT_LT(t0, t1);
+}
+
+TEST(Units, DataSizeConstructorsAndArithmetic) {
+  EXPECT_EQ(DataSize::gigabytes(1.125).in_bytes(), 1'125'000'000);
+  EXPECT_EQ(DataSize::megabytes(256).in_bytes(), 256'000'000);
+  const DataSize a = DataSize::gigabytes(2);
+  const DataSize b = DataSize::gigabytes(0.5);
+  EXPECT_EQ((a + b).in_bytes(), 2'500'000'000);
+  EXPECT_EQ((a - b).in_bytes(), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);
+  EXPECT_EQ((a * 0.25).in_bytes(), 500'000'000);
+  EXPECT_EQ((a / std::int64_t{4}).in_bytes(), 500'000'000);
+}
+
+TEST(Units, BandwidthAndTransferTime) {
+  const Bandwidth bw = Bandwidth::gbps(100);
+  EXPECT_DOUBLE_EQ(bw.in_bits_per_sec(), 100e9);
+  // 1.125 GB over 100 Gb/s = 9e9 bits / 100e9 bps = 90 ms.
+  const Duration t = transfer_time(DataSize::gigabytes(1.125), bw);
+  EXPECT_NEAR(t.sec(), 0.09, 1e-12);
+  const DataSize back = data_transferred(bw, t);
+  EXPECT_NEAR(static_cast<double>(back.in_bytes()), 1.125e9, 1.0);
+}
+
+TEST(Units, TransferTimeRejectsZeroBandwidth) {
+  EXPECT_THROW((void)transfer_time(DataSize::bytes(1), Bandwidth::zero()),
+               CheckFailure);
+}
+
+// ------------------------------------------------------------------ ids ---
+
+TEST(Ids, StrongIdsAreDistinctTypes) {
+  static_assert(!std::is_convertible_v<RackId, JobId>);
+  static_assert(!std::is_convertible_v<std::int64_t, RackId>);
+  const RackId r{3};
+  EXPECT_EQ(r.value(), 3);
+  EXPECT_TRUE(r.valid());
+  EXPECT_FALSE(RackId::invalid().valid());
+}
+
+TEST(Ids, AllocatorIsMonotonic) {
+  IdAllocator<TaskId> alloc;
+  const TaskId a = alloc.next();
+  const TaskId b = alloc.next();
+  EXPECT_LT(a, b);
+  EXPECT_EQ(alloc.allocated(), 2);
+}
+
+TEST(Ids, HashableInUnorderedContainers) {
+  std::set<JobId> jobs{JobId{2}, JobId{1}, JobId{1}};
+  EXPECT_EQ(jobs.size(), 2u);
+  std::hash<JobId> h;
+  EXPECT_EQ(h(JobId{5}), h(JobId{5}));
+}
+
+// ------------------------------------------------------------------ rng ---
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndStable) {
+  Rng root(7);
+  Rng f1 = root.fork(1);
+  Rng f2 = root.fork(2);
+  Rng f1_again = Rng(7).fork(1);
+  EXPECT_EQ(f1.next_u64(), f1_again.next_u64());
+  EXPECT_NE(f1.next_u64(), f2.next_u64());
+}
+
+TEST(Rng, Uniform01InRangeWithPlausibleMean) {
+  Rng rng(123);
+  RunningStat stat;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    stat.add(u);
+  }
+  EXPECT_NEAR(stat.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(99);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(5);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) stat.add(rng.exponential(4.0));
+  EXPECT_NEAR(stat.mean(), 4.0, 0.1);
+}
+
+TEST(Rng, NormalMeanAndStddev) {
+  Rng rng(17);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) stat.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stat.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stat.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMedianIsExpMu) {
+  Rng rng(31);
+  std::vector<double> xs;
+  for (int i = 0; i < 20001; ++i) xs.push_back(rng.lognormal(1.0, 0.8));
+  EXPECT_NEAR(percentile(xs, 50.0), std::exp(1.0), 0.1);
+}
+
+TEST(Rng, ZipfFavorsSmallRanks) {
+  Rng rng(77);
+  int ones = 0, tens = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.zipf(10, 1.2);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 10);
+    if (v == 1) ++ones;
+    if (v == 10) ++tens;
+  }
+  EXPECT_GT(ones, tens * 3);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(8);
+  const auto s = rng.sample_without_replacement(20, 8);
+  EXPECT_EQ(s.size(), 8u);
+  std::set<std::int64_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 8u);
+  for (auto v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 20);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullRange) {
+  Rng rng(8);
+  const auto s = rng.sample_without_replacement(5, 5);
+  std::set<std::int64_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+// ---------------------------------------------------------------- stats ---
+
+TEST(Stats, RunningStatBasics) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, RunningStatMergeMatchesCombined) {
+  RunningStat a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37;
+    a.add(x);
+    all.add(x);
+  }
+  for (int i = 50; i < 120; ++i) {
+    const double x = i * 0.37;
+    b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
+}
+
+TEST(Stats, HistogramBinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);  // clamps to first bin
+  h.add(0.5);
+  h.add(9.9);
+  h.add(99.0);  // clamps to last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+  EXPECT_FALSE(h.to_string().empty());
+}
+
+// ---------------------------------------------------------------- check ---
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    COSCHED_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "expected throw";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom 42"), std::string::npos);
+  }
+}
+
+TEST(Check, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(COSCHED_CHECK(2 + 2 == 4));
+}
+
+// ------------------------------------------------------------------ log ---
+
+TEST(Log, SinkCapturesAtOrAboveLevel) {
+  std::vector<std::string> lines;
+  Log::set_sink([&](LogLevel, const std::string& m) { lines.push_back(m); });
+  Log::set_level(LogLevel::kInfo);
+  COSCHED_DEBUG() << "hidden";
+  COSCHED_INFO() << "shown " << 1;
+  COSCHED_ERROR() << "error";
+  Log::reset_sink();
+  Log::set_level(LogLevel::kWarn);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "shown 1");
+  EXPECT_EQ(lines[1], "error");
+}
+
+}  // namespace
+}  // namespace cosched

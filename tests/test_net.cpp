@@ -1,0 +1,389 @@
+// Unit tests for the Hybrid-DCN network model: EPS max-min fairness, local
+// paths, the OCS port state machine, and routing classification.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "net/eps_fabric.h"
+#include "net/network.h"
+#include "net/ocs_switch.h"
+#include "net/topology.h"
+
+namespace cosched {
+namespace {
+
+HybridTopology small_topo() {
+  HybridTopology t;
+  t.num_racks = 4;
+  t.servers_per_rack = 10;
+  t.server_nic = Bandwidth::gbps(10);
+  t.eps_oversubscription = 10.0;  // rack link = 10 Gbps
+  t.ocs_link = Bandwidth::gbps(100);
+  t.ocs_reconfig_delay = Duration::milliseconds(10);
+  return t;
+}
+
+struct FlowFixture {
+  IdAllocator<FlowId> ids;
+  std::vector<std::unique_ptr<Flow>> flows;
+
+  Flow& make(RackId src, RackId dst, DataSize size) {
+    flows.push_back(std::make_unique<Flow>(ids.next(), CoflowId{0}, JobId{0},
+                                           src, dst, size));
+    return *flows.back();
+  }
+};
+
+// ---------------------------------------------------------------- topo ----
+
+TEST(Topology, RackLinkFollowsOversubscription) {
+  HybridTopology t = small_topo();
+  EXPECT_DOUBLE_EQ(t.eps_rack_link().in_gbps(), 10.0);
+  t.eps_oversubscription = 20.0;
+  EXPECT_DOUBLE_EQ(t.eps_rack_link().in_gbps(), 5.0);
+  t.eps_oversubscription = 3.0;
+  EXPECT_NEAR(t.eps_rack_link().in_gbps(), 100.0 / 3.0, 1e-9);
+}
+
+TEST(Topology, SlotAccounting) {
+  HybridTopology t = small_topo();
+  t.slots_per_server = 20;
+  EXPECT_EQ(t.slots_per_rack(), 200);
+  EXPECT_EQ(t.total_slots(), 800);
+}
+
+TEST(Topology, ValidateRejectsNonsense) {
+  HybridTopology t = small_topo();
+  t.num_racks = 0;
+  EXPECT_THROW(t.validate(), CheckFailure);
+}
+
+// ----------------------------------------------------------------- EPS ----
+
+TEST(EpsFabric, SingleFlowGetsFullRackLink) {
+  Simulator sim;
+  EpsFabric eps(sim, small_topo());
+  FlowFixture fx;
+  // 10 Gb/s link, 1.25 GB = 10 Gbit => exactly 1 second.
+  Flow& f = fx.make(RackId{0}, RackId{1}, DataSize::gigabytes(1.25));
+  f.set_path(FlowPath::kEps);
+  bool done = false;
+  eps.start_flow(f, [&](Flow&) { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(f.completed());
+  EXPECT_NEAR(f.completion_time().sec(), 1.0, 1e-9);
+}
+
+TEST(EpsFabric, TwoFlowsSharingUplinkHalveTheRate) {
+  Simulator sim;
+  EpsFabric eps(sim, small_topo());
+  FlowFixture fx;
+  Flow& a = fx.make(RackId{0}, RackId{1}, DataSize::gigabytes(1.25));
+  Flow& b = fx.make(RackId{0}, RackId{2}, DataSize::gigabytes(1.25));
+  a.set_path(FlowPath::kEps);
+  b.set_path(FlowPath::kEps);
+  eps.start_flow(a, nullptr);
+  eps.start_flow(b, nullptr);
+  sim.run();
+  // Both share rack 0's uplink at 5 Gb/s -> 2 s each.
+  EXPECT_NEAR(a.completion_time().sec(), 2.0, 1e-9);
+  EXPECT_NEAR(b.completion_time().sec(), 2.0, 1e-9);
+}
+
+TEST(EpsFabric, DownlinkContentionAlsoShares) {
+  Simulator sim;
+  EpsFabric eps(sim, small_topo());
+  FlowFixture fx;
+  Flow& a = fx.make(RackId{0}, RackId{2}, DataSize::gigabytes(1.25));
+  Flow& b = fx.make(RackId{1}, RackId{2}, DataSize::gigabytes(1.25));
+  a.set_path(FlowPath::kEps);
+  b.set_path(FlowPath::kEps);
+  eps.start_flow(a, nullptr);
+  eps.start_flow(b, nullptr);
+  sim.run();
+  EXPECT_NEAR(a.completion_time().sec(), 2.0, 1e-9);
+  EXPECT_NEAR(b.completion_time().sec(), 2.0, 1e-9);
+}
+
+TEST(EpsFabric, MaxMinGivesUnbottleneckedFlowTheResidual) {
+  Simulator sim;
+  EpsFabric eps(sim, small_topo());
+  FlowFixture fx;
+  // Two flows into rack 2 (downlink shared), one of which shares its source
+  // uplink with a third flow. Progressive filling: the third flow is capped
+  // at 5 (uplink share); classic max-min would then give flow `a` the
+  // leftover downlink. With equal-split per link, a and b get 5 each.
+  Flow& a = fx.make(RackId{0}, RackId{2}, DataSize::gigabytes(1.25));
+  Flow& b = fx.make(RackId{1}, RackId{2}, DataSize::gigabytes(1.25));
+  Flow& c = fx.make(RackId{1}, RackId{3}, DataSize::gigabytes(1.25));
+  for (Flow* f : {&a, &b, &c}) f->set_path(FlowPath::kEps);
+  eps.start_flow(a, nullptr);
+  eps.start_flow(b, nullptr);
+  eps.start_flow(c, nullptr);
+  sim.run_until(SimTime::zero());  // let the coalesced rate replan fire
+  const auto rates = eps.current_rates();
+  ASSERT_EQ(rates.size(), 3u);
+  // Rack1 uplink carries b and c: 5 Gb/s each. Rack2 downlink carries a and
+  // b: b is frozen at 5, a gets the remaining 5 Gb/s.
+  EXPECT_NEAR(rates[0].second.in_gbps(), 5.0, 1e-9);
+  EXPECT_NEAR(rates[1].second.in_gbps(), 5.0, 1e-9);
+  EXPECT_NEAR(rates[2].second.in_gbps(), 5.0, 1e-9);
+  sim.run();
+  EXPECT_TRUE(a.completed());
+  EXPECT_TRUE(b.completed());
+  EXPECT_TRUE(c.completed());
+}
+
+TEST(EpsFabric, RatesReallocateWhenFlowFinishes) {
+  Simulator sim;
+  EpsFabric eps(sim, small_topo());
+  FlowFixture fx;
+  Flow& small = fx.make(RackId{0}, RackId{1}, DataSize::gigabytes(0.625));
+  Flow& big = fx.make(RackId{0}, RackId{2}, DataSize::gigabytes(1.25));
+  small.set_path(FlowPath::kEps);
+  big.set_path(FlowPath::kEps);
+  eps.start_flow(small, nullptr);
+  eps.start_flow(big, nullptr);
+  sim.run();
+  // small: 5 Gbit at 5 Gb/s -> 1 s. big: 5 Gbit in first second, then the
+  // remaining 5 Gbit at full 10 Gb/s -> 1.5 s total.
+  EXPECT_NEAR(small.completion_time().sec(), 1.0, 1e-9);
+  EXPECT_NEAR(big.completion_time().sec(), 1.5, 1e-9);
+}
+
+TEST(EpsFabric, LocalFlowRunsAtNicSpeedWithoutContention) {
+  Simulator sim;
+  EpsFabric eps(sim, small_topo());
+  FlowFixture fx;
+  Flow& local = fx.make(RackId{0}, RackId{0}, DataSize::gigabytes(1.25));
+  Flow& cross = fx.make(RackId{0}, RackId{1}, DataSize::gigabytes(1.25));
+  local.set_path(FlowPath::kLocal);
+  cross.set_path(FlowPath::kEps);
+  eps.start_flow(local, nullptr);
+  eps.start_flow(cross, nullptr);
+  sim.run();
+  // Local does not consume the rack uplink: both take 1 s.
+  EXPECT_NEAR(local.completion_time().sec(), 1.0, 1e-9);
+  EXPECT_NEAR(cross.completion_time().sec(), 1.0, 1e-9);
+}
+
+TEST(EpsFabric, ZeroByteFlowCompletesImmediately) {
+  Simulator sim;
+  EpsFabric eps(sim, small_topo());
+  FlowFixture fx;
+  Flow& f = fx.make(RackId{0}, RackId{1}, DataSize::zero());
+  f.set_path(FlowPath::kEps);
+  bool done = false;
+  eps.start_flow(f, [&](Flow&) { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(f.completion_time().sec(), 0.0);
+}
+
+TEST(EpsFabric, DemandAddedExtendsTransfer) {
+  Simulator sim;
+  EpsFabric eps(sim, small_topo());
+  FlowFixture fx;
+  Flow& f = fx.make(RackId{0}, RackId{1}, DataSize::gigabytes(1.25));
+  f.set_path(FlowPath::kEps);
+  eps.start_flow(f, nullptr);
+  sim.schedule_at(SimTime::seconds(0.5), [&] {
+    f.add_demand(DataSize::gigabytes(1.25));
+    eps.demand_added(f);
+  });
+  sim.run();
+  EXPECT_NEAR(f.completion_time().sec(), 2.0, 1e-9);
+}
+
+TEST(EpsFabric, ByteAccountingSeparatesEpsAndLocal) {
+  Simulator sim;
+  EpsFabric eps(sim, small_topo());
+  FlowFixture fx;
+  Flow& cross = fx.make(RackId{0}, RackId{1}, DataSize::gigabytes(2));
+  Flow& local = fx.make(RackId{2}, RackId{2}, DataSize::gigabytes(3));
+  cross.set_path(FlowPath::kEps);
+  local.set_path(FlowPath::kLocal);
+  eps.start_flow(cross, nullptr);
+  eps.start_flow(local, nullptr);
+  sim.run();
+  EXPECT_NEAR(eps.eps_bytes_transferred().in_gigabytes(), 2.0, 1e-6);
+  EXPECT_NEAR(eps.local_bytes_transferred().in_gigabytes(), 3.0, 1e-6);
+}
+
+TEST(EpsFabric, OversubscriptionScalesRates) {
+  // Same single flow, 20:1 vs 10:1 — double the transfer time.
+  for (const auto& [ratio, expected_sec] :
+       std::vector<std::pair<double, double>>{{10.0, 1.0}, {20.0, 2.0}}) {
+    Simulator sim;
+    HybridTopology t = small_topo();
+    t.eps_oversubscription = ratio;
+    EpsFabric eps(sim, t);
+    FlowFixture fx;
+    Flow& f = fx.make(RackId{0}, RackId{1}, DataSize::gigabytes(1.25));
+    f.set_path(FlowPath::kEps);
+    eps.start_flow(f, nullptr);
+    sim.run();
+    EXPECT_NEAR(f.completion_time().sec(), expected_sec, 1e-6)
+        << "ratio " << ratio;
+  }
+}
+
+TEST(EpsFabric, ManyFlowsAllCompleteAndConserveBytes) {
+  Simulator sim;
+  EpsFabric eps(sim, small_topo());
+  FlowFixture fx;
+  Rng rng(5);
+  double total_gb = 0;
+  std::vector<Flow*> flows;
+  for (int i = 0; i < 200; ++i) {
+    const auto src = rng.uniform_int(0, 3);
+    auto dst = rng.uniform_int(0, 3);
+    if (dst == src) dst = (dst + 1) % 4;
+    const double gb = 0.1 * static_cast<double>(rng.uniform_int(1, 20));
+    total_gb += gb;
+    Flow& f = fx.make(RackId{src}, RackId{dst}, DataSize::gigabytes(gb));
+    f.set_path(FlowPath::kEps);
+    flows.push_back(&f);
+    eps.start_flow(f, nullptr);
+  }
+  sim.run();
+  for (Flow* f : flows) EXPECT_TRUE(f->completed());
+  EXPECT_NEAR(eps.eps_bytes_transferred().in_gigabytes(), total_gb,
+              total_gb * 0.01);
+}
+
+// ----------------------------------------------------------------- OCS ----
+
+TEST(OcsSwitch, CircuitComesUpAfterReconfigDelay) {
+  Simulator sim;
+  OcsSwitch ocs(sim, small_topo());
+  double up_at = -1;
+  ocs.setup_circuit(RackId{0}, RackId{1}, [&] { up_at = sim.now().sec(); });
+  EXPECT_EQ(ocs.out_port_state(RackId{0}), PortState::kReconfiguring);
+  EXPECT_EQ(ocs.in_port_state(RackId{1}), PortState::kReconfiguring);
+  EXPECT_FALSE(ocs.circuit_up(RackId{0}, RackId{1}));
+  sim.run();
+  EXPECT_NEAR(up_at, 0.010, 1e-12);
+  EXPECT_TRUE(ocs.circuit_up(RackId{0}, RackId{1}));
+  EXPECT_EQ(ocs.circuits_established(), 1);
+}
+
+TEST(OcsSwitch, PortsAreExclusive) {
+  Simulator sim;
+  OcsSwitch ocs(sim, small_topo());
+  ocs.setup_circuit(RackId{0}, RackId{1}, nullptr);
+  EXPECT_FALSE(ocs.out_port_free(RackId{0}));
+  EXPECT_FALSE(ocs.in_port_free(RackId{1}));
+  EXPECT_TRUE(ocs.out_port_free(RackId{1}));
+  EXPECT_TRUE(ocs.in_port_free(RackId{0}));
+  // Using a busy port is a programming error.
+  EXPECT_THROW(ocs.setup_circuit(RackId{0}, RackId{2}, nullptr),
+               CheckFailure);
+  EXPECT_THROW(ocs.setup_circuit(RackId{2}, RackId{1}, nullptr),
+               CheckFailure);
+}
+
+TEST(OcsSwitch, SelfCircuitRejected) {
+  Simulator sim;
+  OcsSwitch ocs(sim, small_topo());
+  EXPECT_THROW(ocs.setup_circuit(RackId{1}, RackId{1}, nullptr),
+               CheckFailure);
+}
+
+TEST(OcsSwitch, TeardownFreesPortsImmediately) {
+  Simulator sim;
+  OcsSwitch ocs(sim, small_topo());
+  ocs.setup_circuit(RackId{0}, RackId{1}, nullptr);
+  sim.run();
+  ASSERT_TRUE(ocs.circuit_up(RackId{0}, RackId{1}));
+  ocs.teardown_circuit(RackId{0}, RackId{1});
+  EXPECT_TRUE(ocs.out_port_free(RackId{0}));
+  EXPECT_TRUE(ocs.in_port_free(RackId{1}));
+  EXPECT_FALSE(ocs.circuit_up(RackId{0}, RackId{1}));
+}
+
+TEST(OcsSwitch, TeardownDuringReconfigCancelsSetup) {
+  Simulator sim;
+  OcsSwitch ocs(sim, small_topo());
+  bool came_up = false;
+  ocs.setup_circuit(RackId{0}, RackId{1}, [&] { came_up = true; });
+  sim.schedule_at(SimTime::seconds(0.001), [&] {
+    ocs.teardown_circuit(RackId{0}, RackId{1});
+  });
+  sim.run();
+  EXPECT_FALSE(came_up);
+  EXPECT_TRUE(ocs.out_port_free(RackId{0}));
+  EXPECT_TRUE(ocs.in_port_free(RackId{1}));
+  EXPECT_EQ(ocs.circuits_established(), 0);
+}
+
+TEST(OcsSwitch, PortsCanBeReusedAfterTeardownDuringReconfig) {
+  Simulator sim;
+  OcsSwitch ocs(sim, small_topo());
+  ocs.setup_circuit(RackId{0}, RackId{1}, nullptr);
+  bool second_up = false;
+  sim.schedule_at(SimTime::seconds(0.002), [&] {
+    ocs.teardown_circuit(RackId{0}, RackId{1});
+    ocs.setup_circuit(RackId{0}, RackId{2}, [&] { second_up = true; });
+  });
+  sim.run();
+  EXPECT_TRUE(second_up);
+  EXPECT_TRUE(ocs.circuit_up(RackId{0}, RackId{2}));
+  // The first (cancelled) setup must not have flipped state.
+  EXPECT_TRUE(ocs.in_port_free(RackId{1}));
+}
+
+TEST(OcsSwitch, NotAllStopOtherCircuitKeepsRunning) {
+  Simulator sim;
+  OcsSwitch ocs(sim, small_topo());
+  ocs.setup_circuit(RackId{0}, RackId{1}, nullptr);
+  sim.run();
+  ASSERT_TRUE(ocs.circuit_up(RackId{0}, RackId{1}));
+  // Setting up 2->3 must not disturb the 0->1 circuit.
+  ocs.setup_circuit(RackId{2}, RackId{3}, nullptr);
+  EXPECT_TRUE(ocs.circuit_up(RackId{0}, RackId{1}));
+  sim.run();
+  EXPECT_TRUE(ocs.circuit_up(RackId{2}, RackId{3}));
+  EXPECT_TRUE(ocs.circuit_up(RackId{0}, RackId{1}));
+}
+
+TEST(OcsSwitch, ConnectedToReportsPeer) {
+  Simulator sim;
+  OcsSwitch ocs(sim, small_topo());
+  EXPECT_FALSE(ocs.connected_to(RackId{0}).has_value());
+  ocs.setup_circuit(RackId{0}, RackId{3}, nullptr);
+  ASSERT_TRUE(ocs.connected_to(RackId{0}).has_value());
+  EXPECT_EQ(*ocs.connected_to(RackId{0}), RackId{3});
+}
+
+// ------------------------------------------------------------- Network ----
+
+TEST(Network, ClassifiesByElephantThreshold) {
+  Simulator sim;
+  HybridTopology t = small_topo();
+  Network net(sim, t);
+  IdAllocator<FlowId> ids;
+  Flow local(ids.next(), CoflowId{0}, JobId{0}, RackId{1}, RackId{1},
+             DataSize::gigabytes(5));
+  Flow small(ids.next(), CoflowId{0}, JobId{0}, RackId{0}, RackId{1},
+             DataSize::gigabytes(1.0));
+  Flow elephant(ids.next(), CoflowId{0}, JobId{0}, RackId{0}, RackId{1},
+                DataSize::gigabytes(1.125));
+  EXPECT_EQ(net.classify(local), FlowPath::kLocal);
+  EXPECT_EQ(net.classify(small), FlowPath::kEps);
+  EXPECT_EQ(net.classify(elephant), FlowPath::kOcs);
+}
+
+TEST(Network, OcsByteAccounting) {
+  Simulator sim;
+  Network net(sim, small_topo());
+  net.note_ocs_bytes(DataSize::gigabytes(2));
+  net.note_ocs_bytes(DataSize::gigabytes(3));
+  EXPECT_NEAR(net.ocs_bytes_transferred().in_gigabytes(), 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cosched

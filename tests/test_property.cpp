@@ -1,0 +1,183 @@
+// Parameterized cross-scheduler property tests: for every scheduler and a
+// sweep of seeds, a full simulation must uphold the system's invariants.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "sim/experiment.h"
+#include "workload/generator.h"
+
+namespace cosched {
+namespace {
+
+using Param = std::tuple<std::string, std::uint64_t>;
+
+class SchedulerProperty : public ::testing::TestWithParam<Param> {
+ protected:
+  static RunMetrics run(const std::string& scheduler, std::uint64_t seed) {
+    ExperimentConfig cfg;
+    cfg.sim.topo.num_racks = 15;
+    cfg.sim.topo.servers_per_rack = 2;
+    cfg.sim.topo.slots_per_server = 10;
+    cfg.workload.num_jobs = 30;
+    cfg.workload.num_users = 5;
+    cfg.workload.arrival_window = Duration::minutes(4);
+    cfg.workload.max_maps = 80;
+    cfg.workload.max_reduces = 10;
+    cfg.workload.heavy_input_mu = 2.5;  // modest sizes for the small cluster
+    cfg.workload.heavy_input_sigma = 0.8;
+    cfg.workload.max_input = DataSize::gigabytes(60);
+    cfg.base_seed = seed;
+    cfg.repetitions = 1;
+    return run_once(cfg, make_scheduler_factory(scheduler), 0);
+  }
+};
+
+TEST_P(SchedulerProperty, AllJobsCompleteWithSaneTimes) {
+  const auto& [scheduler, seed] = GetParam();
+  const RunMetrics m = run(scheduler, seed);
+  EXPECT_EQ(m.jobs.size(), 30u);
+  for (const JobRecord& j : m.jobs) {
+    EXPECT_GT(j.jct.sec(), 0.0) << "job " << j.id;
+    EXPECT_GE(j.completion.sec(), j.arrival.sec());
+    EXPECT_LE(j.completion.sec(), m.makespan.sec() + 1e-9);
+  }
+}
+
+TEST_P(SchedulerProperty, ShuffleBytesConserved) {
+  const auto& [scheduler, seed] = GetParam();
+  const RunMetrics m = run(scheduler, seed);
+  double expected_gb = 0.0;
+  for (const JobRecord& j : m.jobs) {
+    expected_gb += j.shuffle_bytes.in_gigabytes();
+  }
+  const double moved_gb = m.ocs_bytes.in_gigabytes() +
+                          m.eps_bytes.in_gigabytes() +
+                          m.local_bytes.in_gigabytes();
+  EXPECT_NEAR(moved_gb, expected_gb, expected_gb * 0.02 + 0.05);
+}
+
+TEST_P(SchedulerProperty, CctNeverBeatsLowerBoundForPureOcsCoflows) {
+  const auto& [scheduler, seed] = GetParam();
+  const RunMetrics m = run(scheduler, seed);
+  for (const JobRecord& j : m.jobs) {
+    if (!j.has_shuffle || !j.all_flows_ocs) continue;
+    // T(C) is a hard lower bound when every flow rides the OCS (per-port
+    // serialization + one reconfiguration per flow). Tolerance covers the
+    // sub-nanosecond completion rounding.
+    EXPECT_GE(j.cct.sec(), j.cct_lower_bound.sec() - 1e-6)
+        << "job " << j.id << " under " << scheduler;
+  }
+}
+
+TEST_P(SchedulerProperty, CctNeverExceedsJct) {
+  const auto& [scheduler, seed] = GetParam();
+  const RunMetrics m = run(scheduler, seed);
+  for (const JobRecord& j : m.jobs) {
+    if (!j.has_shuffle) continue;
+    EXPECT_LE(j.cct.sec(), j.jct.sec() + 1e-9) << "job " << j.id;
+  }
+}
+
+TEST_P(SchedulerProperty, DeterministicRepetition) {
+  const auto& [scheduler, seed] = GetParam();
+  const RunMetrics a = run(scheduler, seed);
+  const RunMetrics b = run(scheduler, seed);
+  EXPECT_DOUBLE_EQ(a.makespan.sec(), b.makespan.sec());
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, SchedulerProperty,
+    ::testing::Combine(::testing::Values("fair", "corral", "delay",
+                                         "coscheduler", "mts+ocas", "ocas"),
+                       ::testing::Values(1ULL, 7ULL, 1234ULL)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name = std::get<0>(info.param) + "_seed" +
+                         std::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '+') c = '_';
+      }
+      return name;
+    });
+
+// ---- topology sweep: the invariants hold across cluster shapes. ---------
+
+using TopoParam = std::tuple<std::int32_t, double>;  // racks, oversub
+
+class TopologyProperty : public ::testing::TestWithParam<TopoParam> {};
+
+TEST_P(TopologyProperty, CoSchedulerCompletesAndConserves) {
+  const auto& [racks, oversub] = GetParam();
+  ExperimentConfig cfg;
+  cfg.sim.topo.num_racks = racks;
+  cfg.sim.topo.servers_per_rack = 2;
+  cfg.sim.topo.slots_per_server = 10;
+  cfg.sim.topo.eps_oversubscription = oversub;
+  cfg.workload.num_jobs = 25;
+  cfg.workload.num_users = 4;
+  cfg.workload.arrival_window = Duration::minutes(4);
+  cfg.workload.max_maps = 60;
+  cfg.workload.max_reduces = 8;
+  cfg.workload.heavy_input_mu = 2.5;
+  cfg.workload.max_input = DataSize::gigabytes(50);
+  cfg.repetitions = 1;
+  const RunMetrics m =
+      run_once(cfg, make_scheduler_factory("coscheduler"), 0);
+  EXPECT_EQ(m.jobs.size(), 25u);
+  double expected_gb = 0.0;
+  for (const auto& j : m.jobs) expected_gb += j.shuffle_bytes.in_gigabytes();
+  const double moved = m.ocs_bytes.in_gigabytes() +
+                       m.eps_bytes.in_gigabytes() +
+                       m.local_bytes.in_gigabytes();
+  EXPECT_NEAR(moved, expected_gb, expected_gb * 0.02 + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ClusterShapes, TopologyProperty,
+    ::testing::Combine(::testing::Values(4, 9, 24, 60),
+                       ::testing::Values(3.0, 10.0, 20.0)),
+    [](const ::testing::TestParamInfo<TopoParam>& info) {
+      return "racks" + std::to_string(std::get<0>(info.param)) + "_oversub" +
+             std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });
+
+/// Deferral semantics: Co-scheduler never grants a reduce container before
+/// the job's maps are all done; overlapping schedulers do (given enough
+/// maps to straddle waves).
+TEST(ReduceSemantics, CoSchedulerDefersFairOverlaps) {
+  ExperimentConfig cfg;
+  cfg.sim.topo.num_racks = 10;
+  cfg.sim.topo.servers_per_rack = 2;
+  cfg.sim.topo.slots_per_server = 5;  // 100 slots: big jobs need waves
+  cfg.workload.num_jobs = 12;
+  cfg.workload.num_users = 3;
+  cfg.workload.arrival_window = Duration::minutes(2);
+  cfg.workload.max_maps = 150;
+  cfg.workload.max_reduces = 6;
+  cfg.workload.heavy_input_mu = 3.3;
+  cfg.workload.max_input = DataSize::gigabytes(60);
+  cfg.repetitions = 1;
+
+  const RunMetrics cosched =
+      run_once(cfg, make_scheduler_factory("coscheduler"), 0);
+  for (const JobRecord& j : cosched.jobs) {
+    if (!j.first_reduce_placement.is_finite()) continue;  // map-only job
+    EXPECT_GE(j.first_reduce_placement.sec(),
+              j.last_map_completion.sec() - 1e-9)
+        << "job " << j.id << " reduce placed before maps finished";
+  }
+
+  const RunMetrics fair = run_once(cfg, make_scheduler_factory("fair"), 0);
+  bool any_overlap = false;
+  for (const JobRecord& j : fair.jobs) {
+    if (!j.first_reduce_placement.is_finite()) continue;
+    if (j.first_reduce_placement < j.last_map_completion) any_overlap = true;
+  }
+  EXPECT_TRUE(any_overlap)
+      << "expected Fair to overlap at least one job's reduces with maps";
+}
+
+}  // namespace
+}  // namespace cosched

@@ -1,0 +1,159 @@
+// Unit tests for the discrete-event engine.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "simcore/simulator.h"
+
+namespace cosched {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now().sec(), 0.0);
+}
+
+TEST(Simulator, ExecutesEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::seconds(3), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime::seconds(1), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::seconds(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now().sec(), 3.0);
+}
+
+TEST(Simulator, SameTimestampFiresInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(SimTime::seconds(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  std::vector<int> expected(10);
+  for (int i = 0; i < 10; ++i) expected[static_cast<std::size_t>(i)] = i;
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.schedule_at(SimTime::seconds(2), [&] {
+    sim.schedule_after(Duration::seconds(3),
+                       [&] { fired_at = sim.now().sec(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Simulator, RejectsPastEvents) {
+  Simulator sim;
+  sim.schedule_at(SimTime::seconds(5), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(SimTime::seconds(1), [] {}), CheckFailure);
+}
+
+TEST(Simulator, RejectsInfiniteTime) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(SimTime::infinity(), [] {}), CheckFailure);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule_at(SimTime::seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelIsIdempotentAndSafeAfterFire) {
+  Simulator sim;
+  int count = 0;
+  EventHandle h = sim.schedule_at(SimTime::seconds(1), [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 1);
+  h.cancel();  // no-op
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(Simulator, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash
+}
+
+TEST(Simulator, EventsMayScheduleFurtherEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    ++chain;
+    if (chain < 5) sim.schedule_after(Duration::seconds(1), step);
+  };
+  sim.schedule_at(SimTime::seconds(0), step);
+  sim.run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_DOUBLE_EQ(sim.now().sec(), 4.0);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadlineInclusive) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_at(SimTime::seconds(t), [&fired, t] { fired.push_back(t); });
+  }
+  sim.run_until(SimTime::seconds(3));
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0, 3.0}));
+  sim.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(SimTime::seconds(1), [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, StepSkipsCancelledEvents) {
+  Simulator sim;
+  bool second_fired = false;
+  EventHandle h = sim.schedule_at(SimTime::seconds(1), [] { FAIL(); });
+  sim.schedule_at(SimTime::seconds(2), [&] { second_fired = true; });
+  h.cancel();
+  EXPECT_TRUE(sim.step());
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) {
+    sim.schedule_at(SimTime::seconds(i), [] {});
+  }
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(Simulator, ZeroDelayEventFiresAtCurrentTime) {
+  Simulator sim;
+  std::vector<std::string> order;
+  sim.schedule_at(SimTime::seconds(1), [&] {
+    order.push_back("outer");
+    sim.schedule_after(Duration::zero(), [&] { order.push_back("inner"); });
+  });
+  sim.schedule_at(SimTime::seconds(1), [&] { order.push_back("sibling"); });
+  sim.run();
+  // The zero-delay event fires after already-queued same-time events.
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"outer", "sibling", "inner"}));
+}
+
+}  // namespace
+}  // namespace cosched
