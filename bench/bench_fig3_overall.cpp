@@ -8,14 +8,51 @@
 // average JCT by 54.6% / 33.8%, and average CCT by 73.6% / 54.8% vs Fair /
 // Corral; OCS carries 92.2% (Co-scheduler), 33.0% (Corral), 2.2% (Fair) of
 // the traffic.
+#include <fstream>
+#include <iostream>
+
 #include "bench_util.h"
+#include "metrics/report.h"
+#include "obs/observability.h"
+#include "obs/profile.h"
 
 using namespace cosched;
 using namespace cosched::bench;
 
+namespace {
+
+/// Re-run repetition 0 of the coscheduler with the observability bundle
+/// attached and export the requested artifacts. A separate pass keeps the
+/// timed comparison runs free of recording overhead.
+void run_observed_rep(const ExperimentConfig& cfg, const BenchArgs& args) {
+  Observability obs;
+  ExperimentConfig observed = cfg;
+  observed.sim.obs = &obs;
+  (void)run_once(observed, make_scheduler_factory("coscheduler"), 0);
+
+  if (!args.trace_out.empty()) {
+    std::ofstream os(args.trace_out);
+    obs.trace.write_chrome_trace(os, &obs.counters);
+    std::printf("wrote Chrome trace to %s\n", args.trace_out.c_str());
+  }
+  if (!args.counters_out.empty()) {
+    std::ofstream os(args.counters_out);
+    obs.counters.write_csv(os);
+    std::printf("wrote counter CSV to %s\n", args.counters_out.c_str());
+  }
+  print_obs_summary(std::cout, obs);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const BenchArgs args = BenchArgs::parse(argc, argv);
   const ExperimentConfig cfg = paper_config(args);
+
+  if (args.profile) {
+    Profiler::set_enabled(true);
+    Profiler::instance().reset();
+  }
 
   const std::vector<std::string> names{"fair", "corral", "coscheduler"};
   const auto results = compare_schedulers(cfg, names);
@@ -51,5 +88,11 @@ int main(int argc, char** argv) {
 
   std::printf("\n(paper: Co-scheduler vs Fair: makespan -51.2%%, JCT -54.6%%,"
               " CCT -73.6%%; OCS share 92.2%% / 33.0%% / 2.2%%)\n");
+
+  if (args.observing()) run_observed_rep(cfg, args);
+  // print_obs_summary already includes the profile table when observing.
+  if (args.profile && !args.observing()) {
+    Profiler::instance().write_summary(std::cout);
+  }
   return 0;
 }

@@ -7,6 +7,11 @@
 //   --seed=N    base seed
 // and prints one table per figure panel, with values normalized exactly the
 // way the paper normalizes them (to the Fair scheduler unless stated).
+//
+// Observability (benches that support it, currently bench_fig3_overall):
+//   --trace-out=PATH      Chrome trace JSON of one coscheduler repetition
+//   --counters-out=PATH   counter samples of that repetition as CSV
+//   --profile             wall-clock profile of simulator hot paths
 #pragma once
 
 #include <cstdint>
@@ -24,6 +29,13 @@ struct BenchArgs {
   std::int32_t reps = 2;
   std::int32_t jobs = 200;
   std::uint64_t seed = 42;
+  std::string trace_out;
+  std::string counters_out;
+  bool profile = false;
+
+  [[nodiscard]] bool observing() const {
+    return !trace_out.empty() || !counters_out.empty();
+  }
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -39,8 +51,17 @@ struct BenchArgs {
         args.jobs = std::atoi(jobs);
       } else if (const char* seed = value("--seed=")) {
         args.seed = std::strtoull(seed, nullptr, 10);
+      } else if (const char* trace = value("--trace-out=")) {
+        args.trace_out = trace;
+      } else if (const char* counters = value("--counters-out=")) {
+        args.counters_out = counters;
+      } else if (a == "--profile") {
+        args.profile = true;
       } else if (a == "--help" || a == "-h") {
-        std::printf("usage: %s [--reps=N] [--jobs=N (paper: 1000)] [--seed=N]\n", argv[0]);
+        std::printf(
+            "usage: %s [--reps=N] [--jobs=N (paper: 1000)] [--seed=N]\n"
+            "          [--trace-out=PATH] [--counters-out=PATH] [--profile]\n",
+            argv[0]);
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", a.c_str());

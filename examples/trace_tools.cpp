@@ -3,13 +3,30 @@
 //
 //   trace_tools generate <path> [num_jobs] [seed]   write a trace CSV
 //   trace_tools stats    <path>                     print workload stats
-//   trace_tools replay   <path> <scheduler>         simulate a trace
+//   trace_tools replay   <path> <scheduler> [obs]   simulate a trace
 //
 // Schedulers: fair | corral | coscheduler | mts+ocas | ocas
+//
+// Replay observability flags:
+//   --trace-out=<path>      Chrome trace_event JSON (chrome://tracing or
+//                           https://ui.perfetto.dev) with counter tracks
+//   --trace-csv=<path>      flat CSV of every trace event
+//   --counters-out=<path>   time-series counter samples as CSV
+//   --decisions-out=<stem>  scheduler decision logs: <stem>.placements.csv,
+//                           <stem>.grants.csv, <stem>.circuits.csv
+//   --counter-interval=<s>  sim-seconds between counter samples (default 1)
+//   --profile               wall-clock profile of simulator hot paths
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
 #include <string>
 
+#include "metrics/report.h"
+#include "obs/observability.h"
+#include "obs/profile.h"
 #include "sim/experiment.h"
 #include "workload/generator.h"
 #include "workload/trace_io.h"
@@ -51,10 +68,72 @@ int cmd_stats(const char* path) {
   return 0;
 }
 
-int cmd_replay(const char* path, const char* scheduler) {
+struct ObsFlags {
+  std::string trace_out;
+  std::string trace_csv;
+  std::string counters_out;
+  std::string decisions_out;
+  double counter_interval_sec = 1.0;
+  bool profile = false;
+  bool any() const {
+    return !trace_out.empty() || !trace_csv.empty() ||
+           !counters_out.empty() || !decisions_out.empty() || profile;
+  }
+};
+
+bool parse_obs_flag(const std::string& arg, ObsFlags& flags) {
+  auto value_of = [&](const char* prefix, std::string& out) {
+    const std::size_t n = std::string(prefix).size();
+    if (arg.rfind(prefix, 0) != 0) return false;
+    out = arg.substr(n);
+    return true;
+  };
+  std::string interval;
+  if (value_of("--trace-out=", flags.trace_out)) return true;
+  if (value_of("--trace-csv=", flags.trace_csv)) return true;
+  if (value_of("--counters-out=", flags.counters_out)) return true;
+  if (value_of("--decisions-out=", flags.decisions_out)) return true;
+  if (value_of("--counter-interval=", interval)) {
+    flags.counter_interval_sec = std::atof(interval.c_str());
+    return true;
+  }
+  if (arg == "--profile") {
+    flags.profile = true;
+    return true;
+  }
+  return false;
+}
+
+void write_file(const std::string& path,
+                const std::function<void(std::ostream&)>& writer,
+                const char* what) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  writer(os);
+  std::printf("wrote %s to %s\n", what, path.c_str());
+}
+
+int cmd_replay(const char* path, const char* scheduler,
+               const ObsFlags& flags) {
   auto jobs = read_trace_file(path);
   SimConfig cfg;
   cfg.seed = 1;
+
+  std::unique_ptr<Observability> obs;
+  if (flags.any()) {
+    obs = std::make_unique<Observability>();
+    obs->counters.set_interval(
+        Duration::seconds(flags.counter_interval_sec));
+    cfg.obs = obs.get();
+  }
+  if (flags.profile) {
+    Profiler::set_enabled(true);
+    Profiler::instance().reset();
+  }
+
   SimulationDriver driver(cfg, std::move(jobs),
                           make_scheduler_factory(scheduler)());
   const RunMetrics m = driver.run();
@@ -66,6 +145,44 @@ int cmd_replay(const char* path, const char* scheduler) {
               100.0 * m.ocs_traffic_fraction());
   std::printf("heavy JCT:  %.1f s   light JCT: %.1f s\n",
               m.avg_jct_sec(true), m.avg_jct_sec(false));
+
+  if (obs != nullptr) {
+    if (!flags.trace_out.empty()) {
+      write_file(flags.trace_out,
+                 [&](std::ostream& os) {
+                   obs->trace.write_chrome_trace(os, &obs->counters);
+                 },
+                 "Chrome trace");
+    }
+    if (!flags.trace_csv.empty()) {
+      write_file(flags.trace_csv,
+                 [&](std::ostream& os) { obs->trace.write_csv(os); },
+                 "trace CSV");
+    }
+    if (!flags.counters_out.empty()) {
+      write_file(flags.counters_out,
+                 [&](std::ostream& os) { obs->counters.write_csv(os); },
+                 "counter CSV");
+    }
+    if (!flags.decisions_out.empty()) {
+      write_file(flags.decisions_out + ".placements.csv",
+                 [&](std::ostream& os) {
+                   obs->decisions.write_placements_csv(os);
+                 },
+                 "placement decisions");
+      write_file(flags.decisions_out + ".grants.csv",
+                 [&](std::ostream& os) { obs->decisions.write_grants_csv(os); },
+                 "grant decisions");
+      write_file(flags.decisions_out + ".circuits.csv",
+                 [&](std::ostream& os) {
+                   obs->decisions.write_circuits_csv(os);
+                 },
+                 "circuit decisions");
+    }
+    print_obs_summary(std::cout, *obs);
+  } else if (flags.profile) {
+    Profiler::instance().write_summary(std::cout);
+  }
   return 0;
 }
 
@@ -76,7 +193,17 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "generate" && argc >= 3) return cmd_generate(argc, argv);
     if (cmd == "stats" && argc == 3) return cmd_stats(argv[2]);
-    if (cmd == "replay" && argc == 4) return cmd_replay(argv[2], argv[3]);
+    if (cmd == "replay" && argc >= 4) {
+      ObsFlags flags;
+      bool ok = true;
+      for (int i = 4; i < argc; ++i) {
+        if (!parse_obs_flag(argv[i], flags)) {
+          std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
+          ok = false;
+        }
+      }
+      if (ok) return cmd_replay(argv[2], argv[3], flags);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -85,7 +212,10 @@ int main(int argc, char** argv) {
                "usage:\n"
                "  %s generate <path> [num_jobs] [seed]\n"
                "  %s stats <path>\n"
-               "  %s replay <path> <fair|corral|coscheduler|mts+ocas|ocas>\n",
+               "  %s replay <path> <fair|corral|coscheduler|mts+ocas|ocas>\n"
+               "     [--trace-out=f.json] [--trace-csv=f.csv]\n"
+               "     [--counters-out=f.csv] [--decisions-out=stem]\n"
+               "     [--counter-interval=sec] [--profile]\n",
                argv[0], argv[0], argv[0]);
   return 2;
 }

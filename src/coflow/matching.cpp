@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/check.h"
+#include "obs/profile.h"
 
 namespace cosched {
 
@@ -95,6 +96,7 @@ class HopcroftKarp {
 }  // namespace
 
 MatchingResult maximum_bipartite_matching(const BipartiteGraph& graph) {
+  COSCHED_PROF_SCOPE("matching.hopcroft_karp");
   return HopcroftKarp(graph).run();
 }
 

@@ -7,6 +7,8 @@
 #include "coflow/matching.h"
 #include "common/check.h"
 #include "common/log.h"
+#include "obs/observability.h"
+#include "obs/profile.h"
 
 namespace cosched {
 
@@ -63,6 +65,15 @@ std::size_t SunflowScheduler::pending_flows() const {
   return n;
 }
 
+DataSize SunflowScheduler::bytes_in_flight() const {
+  double bits = 0.0;
+  for (const auto& [id, entry] : entries_) {
+    for (const Flow* f : entry.pending) bits += f->remaining_bits();
+  }
+  for (const auto& [id, at] : active_) bits += at.flow->remaining_bits();
+  return DataSize::bytes(static_cast<std::int64_t>(bits / 8.0));
+}
+
 void SunflowScheduler::request_allocation_pass() {
   if (pass_scheduled_) return;
   pass_scheduled_ = true;
@@ -73,6 +84,7 @@ void SunflowScheduler::request_allocation_pass() {
 }
 
 void SunflowScheduler::allocation_pass() {
+  COSCHED_PROF_SCOPE("sunflow.allocation_pass");
   // Ports that a higher-priority coflow still needs (pending demand it
   // could not start this pass) are *reserved*: a lower-priority coflow may
   // not take them even if they are momentarily free. Without this, a long
@@ -145,6 +157,17 @@ void SunflowScheduler::allocation_pass() {
       active_.emplace(flow->id(),
                       ActiveTransfer{flow, TransferState::kReconfiguring,
                                      sim_.now()});
+      if (obs_ != nullptr) {
+        obs_->decisions.record(CircuitDecision{
+            .at = sim_.now(),
+            .coflow = cid,
+            .job = flow->job(),
+            .flow = flow->id(),
+            .src = flow->src(),
+            .dst = flow->dst(),
+            .priority_sec = entry.priority_sec,
+            .bytes = flow->size()});
+      }
       FlowId id = flow->id();
       net_.ocs().setup_circuit(flow->src(), flow->dst(),
                                [this, id] { start_transfer(id); });

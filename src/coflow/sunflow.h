@@ -19,6 +19,8 @@
 
 namespace cosched {
 
+struct Observability;
+
 class SunflowScheduler : public CircuitScheduler {
  public:
   SunflowScheduler(Simulator& sim, Network& net);
@@ -31,6 +33,15 @@ class SunflowScheduler : public CircuitScheduler {
   [[nodiscard]] std::size_t active_transfers() const {
     return active_.size();
   }
+
+  /// Coflows with pending or active OCS demand (diagnostics).
+  [[nodiscard]] std::size_t active_coflows() const { return entries_.size(); }
+
+  /// Bytes still to drain across pending and circuit-held flows.
+  [[nodiscard]] DataSize bytes_in_flight() const;
+
+  /// Attach tracing + decision logging; null (the default) disables both.
+  void set_observability(Observability* obs) { obs_ = obs; }
 
  private:
   enum class TransferState { kReconfiguring, kTransferring };
@@ -59,6 +70,7 @@ class SunflowScheduler : public CircuitScheduler {
   std::vector<CoflowId> order_;
   std::map<FlowId, ActiveTransfer> active_;
   bool pass_scheduled_ = false;
+  Observability* obs_ = nullptr;
 };
 
 }  // namespace cosched

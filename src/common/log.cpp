@@ -1,11 +1,21 @@
 #include "common/log.h"
 
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
 
 namespace cosched {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+LogLevel initial_level() {
+  LogLevel level = LogLevel::kWarn;
+  if (const char* env = std::getenv("COSCHED_LOG_LEVEL")) {
+    if (auto parsed = parse_log_level(env)) level = *parsed;
+  }
+  return level;
+}
+
+LogLevel g_level = initial_level();
 Log::Sink g_sink;  // empty = default stderr sink
 
 void default_sink(LogLevel level, const std::string& message) {
@@ -14,8 +24,30 @@ void default_sink(LogLevel level, const std::string& message) {
 
 }  // namespace
 
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
 LogLevel Log::level() { return g_level; }
 void Log::set_level(LogLevel level) { g_level = level; }
+
+void Log::init_from_env() {
+  if (const char* env = std::getenv("COSCHED_LOG_LEVEL")) {
+    if (auto parsed = parse_log_level(env)) g_level = *parsed;
+  }
+}
 void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
 void Log::reset_sink() { g_sink = nullptr; }
 

@@ -7,12 +7,18 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace cosched {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// Returns nullopt for anything else.
+std::optional<LogLevel> parse_log_level(std::string_view name);
 
 /// Global log configuration. Not thread-safe by design (see header comment).
 class Log {
@@ -23,6 +29,11 @@ class Log {
   static void set_level(LogLevel level);
   static void set_sink(Sink sink);
   static void reset_sink();
+
+  /// Re-read COSCHED_LOG_LEVEL from the environment (applied once at
+  /// startup automatically; exposed so tests can exercise the parsing).
+  /// Unset or unparsable values leave the level unchanged.
+  static void init_from_env();
 
   static void write(LogLevel level, const std::string& message);
   static const char* level_name(LogLevel level);

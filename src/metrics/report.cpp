@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/stats.h"
+#include "obs/observability.h"
+#include "obs/profile.h"
 
 namespace cosched {
 
@@ -76,6 +78,36 @@ void print_summary(std::ostream& os, const RunMetrics& run) {
      << ", p90 " << cct.p90 << ", p99 " << cct.p99 << ")\n"
      << "OCS share:   " << 100.0 * run.ocs_traffic_fraction() << " %\n"
      << "fairness:    " << jain_fairness_index(run) << " (Jain, user JCT)\n";
+}
+
+void print_obs_summary(std::ostream& os, const Observability& obs) {
+  os << "trace events: " << obs.trace.size() << "\n";
+  constexpr TraceEventKind kKinds[] = {
+      TraceEventKind::kJobArrival,         TraceEventKind::kJobComplete,
+      TraceEventKind::kTaskStart,          TraceEventKind::kTaskFinish,
+      TraceEventKind::kContainerGrant,     TraceEventKind::kReduceComputeStart,
+      TraceEventKind::kCoflowRelease,      TraceEventKind::kFlowRouted,
+      TraceEventKind::kFlowComplete,       TraceEventKind::kCircuitSetup,
+      TraceEventKind::kCircuitUp,          TraceEventKind::kCircuitTeardown,
+      TraceEventKind::kDeadlockBreak,
+  };
+  for (TraceEventKind kind : kKinds) {
+    const std::int64_t n = obs.trace.count(kind);
+    if (n > 0) os << "  " << to_string(kind) << ": " << n << "\n";
+  }
+  os << "decisions: " << obs.decisions.placements().size() << " placements, "
+     << obs.decisions.grants().size() << " grants, "
+     << obs.decisions.circuits().size() << " circuits\n";
+  if (!obs.counters.rows().empty()) {
+    os << "counters (" << obs.counters.rows().size()
+       << " samples, last values):\n";
+    for (const std::string& name : obs.counters.names()) {
+      // Per-rack occupancy would flood the summary; the CSV keeps it.
+      if (name.rfind("cluster.rack_used.", 0) == 0) continue;
+      os << "  " << name << ": " << obs.counters.last(name) << "\n";
+    }
+  }
+  if (Profiler::enabled()) Profiler::instance().write_summary(os);
 }
 
 }  // namespace cosched

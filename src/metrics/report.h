@@ -9,6 +9,8 @@
 
 namespace cosched {
 
+struct Observability;
+
 struct PercentileDigest {
   double p50 = 0;
   double p90 = 0;
@@ -31,5 +33,9 @@ void write_job_timeline_csv(std::ostream& os, const RunMetrics& run);
 
 /// Human-readable one-run summary.
 void print_summary(std::ostream& os, const RunMetrics& run);
+
+/// Trace-aware addendum: per-kind trace event counts, decision tallies,
+/// last counter samples, and the wall-clock profile when enabled.
+void print_obs_summary(std::ostream& os, const Observability& obs);
 
 }  // namespace cosched

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/log.h"
+#include "obs/profile.h"
 
 namespace cosched {
 
@@ -79,6 +80,8 @@ void EpsFabric::settle_flow(ActiveFlow& af) {
 }
 
 void EpsFabric::recompute_and_replan() {
+  COSCHED_PROF_SCOPE("eps.recompute_and_replan");
+  ++replans_;
   last_replan_ = sim_.now();
   // Settle every flow at its current (old) rate before rates change.
   for (auto& [id, af] : active_) settle_flow(af);
@@ -205,6 +208,12 @@ void EpsFabric::on_completion_event(FlowId id) {
   active_.erase(it);
   if (!active_.empty()) request_replan();
   if (cb) cb(flow);
+}
+
+DataSize EpsFabric::bytes_in_flight() const {
+  double bits = 0.0;
+  for (const auto& [id, af] : active_) bits += af.flow->remaining_bits();
+  return DataSize::bytes(static_cast<std::int64_t>(bits / 8.0));
 }
 
 std::vector<std::pair<FlowId, Bandwidth>> EpsFabric::current_rates() const {

@@ -46,6 +46,13 @@ class EpsFabric {
     return local_bytes_;
   }
 
+  /// Bytes still to drain across all active flows (settled view lags the
+  /// fluid model by at most one replan interval).
+  [[nodiscard]] DataSize bytes_in_flight() const;
+
+  /// Progressive-filling passes executed so far (diagnostics).
+  [[nodiscard]] std::int64_t replans() const { return replans_; }
+
   /// Max-min fair rates for the current flow set (exposed for testing),
   /// sorted by flow id.
   [[nodiscard]] std::vector<std::pair<FlowId, Bandwidth>> current_rates()
@@ -77,6 +84,7 @@ class EpsFabric {
   bool replan_scheduled_ = false;
   DataSize eps_bytes_ = DataSize::zero();
   DataSize local_bytes_ = DataSize::zero();
+  std::int64_t replans_ = 0;
 };
 
 }  // namespace cosched

@@ -1,5 +1,9 @@
 #include "net/ocs_switch.h"
 
+#include <algorithm>
+
+#include "obs/trace_recorder.h"
+
 namespace cosched {
 
 OcsSwitch::OcsSwitch(Simulator& sim, const HybridTopology& topo)
@@ -58,6 +62,12 @@ void OcsSwitch::setup_circuit(RackId src, RackId dst,
   i.peer = src;
   ++i.generation;
   ++reconfigurations_;
+  if (trace_ != nullptr) {
+    trace_->record({.kind = TraceEventKind::kCircuitSetup,
+                    .at = sim_.now(),
+                    .src = src,
+                    .dst = dst});
+  }
 
   const std::int64_t gen_out = o.generation;
   const std::int64_t gen_in = i.generation;
@@ -74,6 +84,12 @@ void OcsSwitch::setup_circuit(RackId src, RackId dst,
         oo.state = PortState::kConnected;
         ii.state = PortState::kConnected;
         ++circuits_established_;
+        if (trace_ != nullptr) {
+          trace_->record({.kind = TraceEventKind::kCircuitUp,
+                          .at = sim_.now(),
+                          .src = src,
+                          .dst = dst});
+        }
         if (cb) cb();
       });
 }
@@ -90,11 +106,31 @@ void OcsSwitch::teardown_circuit(RackId src, RackId dst) {
   i.state = PortState::kFree;
   i.peer = RackId::invalid();
   ++i.generation;
+  if (trace_ != nullptr) {
+    trace_->record({.kind = TraceEventKind::kCircuitTeardown,
+                    .at = sim_.now(),
+                    .src = src,
+                    .dst = dst});
+  }
 }
 
 bool OcsSwitch::circuit_up(RackId src, RackId dst) const {
   const auto& o = out(src);
   return o.state == PortState::kConnected && o.peer == dst;
+}
+
+std::int64_t OcsSwitch::active_circuits() const {
+  return std::count_if(out_ports_.begin(), out_ports_.end(),
+                       [](const PortPair& p) {
+                         return p.state == PortState::kConnected;
+                       });
+}
+
+std::int64_t OcsSwitch::reconfiguring_ports() const {
+  return std::count_if(out_ports_.begin(), out_ports_.end(),
+                       [](const PortPair& p) {
+                         return p.state == PortState::kReconfiguring;
+                       });
 }
 
 }  // namespace cosched

@@ -25,6 +25,8 @@
 
 namespace cosched {
 
+class TraceRecorder;
+
 enum class PortState { kFree, kReconfiguring, kConnected };
 
 class OcsSwitch {
@@ -66,6 +68,15 @@ class OcsSwitch {
     return reconfigurations_;
   }
 
+  /// Circuits currently up (kConnected output ports).
+  [[nodiscard]] std::int64_t active_circuits() const;
+  /// Ports currently mid-reconfiguration.
+  [[nodiscard]] std::int64_t reconfiguring_ports() const;
+
+  /// Attach a trace recorder for circuit setup/up/teardown events. Null
+  /// (the default) disables tracing.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
  private:
   struct PortPair {
     PortState state = PortState::kFree;
@@ -86,6 +97,7 @@ class OcsSwitch {
   std::vector<PortPair> in_ports_;
   std::int64_t circuits_established_ = 0;
   std::int64_t reconfigurations_ = 0;
+  TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace cosched

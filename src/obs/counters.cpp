@@ -1,0 +1,66 @@
+#include "obs/counters.h"
+
+#include <ostream>
+#include <utility>
+
+#include "common/check.h"
+#include "simcore/simulator.h"
+
+namespace cosched {
+
+void CounterRegistry::add_gauge(std::string name, Sampler sampler) {
+  COSCHED_CHECK_MSG(sampler != nullptr, "gauge needs a sampler");
+  COSCHED_CHECK_MSG(times_.empty(),
+                    "gauges must be registered before sampling starts");
+  names_.push_back(std::move(name));
+  samplers_.push_back(std::move(sampler));
+}
+
+void CounterRegistry::sample_now(SimTime now) {
+  if (samplers_.empty()) return;
+  std::vector<double> row;
+  row.reserve(samplers_.size());
+  for (const Sampler& s : samplers_) row.push_back(s());
+  times_.push_back(now);
+  rows_.push_back(std::move(row));
+}
+
+void CounterRegistry::arm(Simulator& sim) {
+  if (armed_ || samplers_.empty() || interval_ <= Duration::zero()) return;
+  armed_ = true;
+  sample_now(sim.now());
+  sim.schedule_after(interval_, [this, &sim] { tick(sim); });
+}
+
+void CounterRegistry::tick(Simulator& sim) {
+  sample_now(sim.now());
+  // Re-arm only while something else is live: the sampler must never be the
+  // event keeping an otherwise drained simulation running.
+  if (sim.events_pending() > 0) {
+    sim.schedule_after(interval_, [this, &sim] { tick(sim); });
+  } else {
+    armed_ = false;
+  }
+}
+
+double CounterRegistry::last(const std::string& name) const {
+  if (rows_.empty()) return 0.0;
+  for (std::size_t j = 0; j < names_.size(); ++j) {
+    if (names_[j] == name) return rows_.back()[j];
+  }
+  return 0.0;
+}
+
+void CounterRegistry::write_csv(std::ostream& os) const {
+  os << "time_sec";
+  for (const std::string& name : names_) os << ',' << name;
+  os << "\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    os << times_[i].sec();
+    for (double v : rows_[i]) os << ',' << v;
+    os << "\n";
+  }
+  COSCHED_CHECK_MSG(os.good(), "counter CSV export failed");
+}
+
+}  // namespace cosched

@@ -1,0 +1,75 @@
+// CounterRegistry: named time-series gauges sampled on sim-time intervals.
+//
+// A gauge is a callback reading some live quantity (queue depth, container
+// occupancy, circuit utilization, bytes in flight). The registry samples
+// every gauge at a fixed simulated-time cadence and stores the rows for CSV
+// export or for merging into a Chrome trace as counter tracks.
+//
+// Sampling is driven by the simulator's own event queue: arm() takes one
+// sample immediately and schedules the next tick. A tick re-arms itself
+// only while other live events remain, so sampling never keeps an otherwise
+// drained simulation alive (the driver re-arms after deadlock recovery).
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace cosched {
+
+class Simulator;
+
+class CounterRegistry {
+ public:
+  using Sampler = std::function<double()>;
+
+  /// Register a gauge. Names become CSV column headers; keep them
+  /// [a-z0-9_.] for the benefit of downstream tools.
+  void add_gauge(std::string name, Sampler sampler);
+
+  [[nodiscard]] bool empty() const { return samplers_.empty(); }
+  [[nodiscard]] const std::vector<std::string>& names() const {
+    return names_;
+  }
+
+  /// Sim-time between samples (default 1 s). Zero disables arm().
+  void set_interval(Duration d) { interval_ = d; }
+  [[nodiscard]] Duration interval() const { return interval_; }
+
+  /// Read every gauge once, appending a row stamped `now`.
+  void sample_now(SimTime now);
+
+  /// Start periodic sampling on `sim` (idempotent while armed). Takes one
+  /// sample at the current time, then one per interval while the
+  /// simulation has other live events pending.
+  void arm(Simulator& sim);
+
+  [[nodiscard]] const std::vector<SimTime>& sample_times() const {
+    return times_;
+  }
+  /// rows()[i][j] = value of gauge j at sample_times()[i].
+  [[nodiscard]] const std::vector<std::vector<double>>& rows() const {
+    return rows_;
+  }
+
+  /// Last sampled value of `name`; 0 when never sampled or unknown.
+  [[nodiscard]] double last(const std::string& name) const;
+
+  /// CSV: header `time_sec,<name>...`, one row per sample.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  void tick(Simulator& sim);
+
+  std::vector<std::string> names_;
+  std::vector<Sampler> samplers_;
+  std::vector<SimTime> times_;
+  std::vector<std::vector<double>> rows_;
+  Duration interval_ = Duration::seconds(1);
+  bool armed_ = false;
+};
+
+}  // namespace cosched

@@ -1,0 +1,109 @@
+// DecisionLog: an audit trail of scheduler choices with their inputs.
+//
+// Three decision families, matching the paper's mechanisms:
+//   * PlacementDecision — one per PSRT+SBS pass: the R_map guideline the
+//     job ran under, every candidate count considered, the chosen reduce
+//     distribution D, the concrete rack plan (R_red racks), and the
+//     CCT + t_max estimate the winner scored.
+//   * GrantDecision — one per container grant: which task got the slot,
+//     on which rack, under which OCAS priority class.
+//   * CircuitDecision — one per circuit the coflow scheduler requests:
+//     which flow, between which racks, at what coflow priority.
+//
+// Like the TraceRecorder, a default-constructed log is disabled and
+// record() is an early-return.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace cosched {
+
+struct PlacementDecision {
+  SimTime at;
+  JobId job = JobId::invalid();
+  /// R_map guideline in force (0 = none).
+  std::int32_t r_map = 0;
+  /// Number of reduce racks in the chosen plan.
+  std::int32_t r_red = 0;
+  /// Chosen distribution D, descending (d[i] reduces on the i-th rack).
+  std::vector<std::int32_t> d;
+  /// Concrete rack -> reduce-count plan, sorted by rack.
+  std::vector<std::pair<RackId, std::int32_t>> plan;
+  /// The winner's CCT lower bound and container-availability wait.
+  Duration planned_cct = Duration::zero();
+  Duration t_max = Duration::zero();
+  /// score = (planned_cct + t_max) in seconds — what SBS minimized.
+  double score_sec = 0.0;
+  /// Candidate schedules PSRT offered to SBS.
+  std::int64_t candidates = 0;
+};
+
+struct GrantDecision {
+  SimTime at;
+  RackId rack = RackId::invalid();
+  JobId job = JobId::invalid();
+  TaskId task = TaskId::invalid();
+  UserId user = UserId::invalid();
+  bool is_map = false;
+  /// OCAS priority class 1..6; -1 for schedulers without classes.
+  std::int32_t ocas_class = -1;
+};
+
+struct CircuitDecision {
+  SimTime at;
+  CoflowId coflow = CoflowId::invalid();
+  JobId job = JobId::invalid();
+  FlowId flow = FlowId::invalid();
+  RackId src = RackId::invalid();
+  RackId dst = RackId::invalid();
+  /// Coflow priority (its CCT lower bound, seconds; smaller = earlier).
+  double priority_sec = 0.0;
+  DataSize bytes;
+};
+
+class DecisionLog {
+ public:
+  DecisionLog() = default;
+
+  void enable(bool on = true) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(PlacementDecision d) {
+    if (enabled_) placements_.push_back(std::move(d));
+  }
+  void record(const GrantDecision& d) {
+    if (enabled_) grants_.push_back(d);
+  }
+  void record(const CircuitDecision& d) {
+    if (enabled_) circuits_.push_back(d);
+  }
+
+  [[nodiscard]] const std::vector<PlacementDecision>& placements() const {
+    return placements_;
+  }
+  [[nodiscard]] const std::vector<GrantDecision>& grants() const {
+    return grants_;
+  }
+  [[nodiscard]] const std::vector<CircuitDecision>& circuits() const {
+    return circuits_;
+  }
+
+  /// CSV exports, one file (section) per decision family.
+  void write_placements_csv(std::ostream& os) const;
+  void write_grants_csv(std::ostream& os) const;
+  void write_circuits_csv(std::ostream& os) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<PlacementDecision> placements_;
+  std::vector<GrantDecision> grants_;
+  std::vector<CircuitDecision> circuits_;
+};
+
+}  // namespace cosched

@@ -1,0 +1,34 @@
+// The observability bundle: everything a run can record about itself.
+//
+// Attach one to a SimConfig (`cfg.obs = &obs`) and the driver wires it
+// through the whole stack: the TraceRecorder sees task/container/coflow/
+// flow/circuit events, the CounterRegistry samples queue depths, container
+// occupancy, circuit utilization and bytes in flight on a sim-time cadence,
+// and the DecisionLog captures every PSRT/SBS plan, OCAS container grant,
+// and Sunflow circuit choice. The bundle owns no simulation state and can
+// outlive the driver, so artifacts are exported after run() returns.
+//
+// Constructing the bundle enables trace + decisions (attaching one is the
+// opt-in); individual components can be re-disabled for targeted runs.
+// Wall-clock profiling (COSCHED_PROF_SCOPE) is global and enabled
+// separately via Profiler::set_enabled.
+#pragma once
+
+#include "obs/counters.h"
+#include "obs/decision_log.h"
+#include "obs/trace_recorder.h"
+
+namespace cosched {
+
+struct Observability {
+  Observability() {
+    trace.enable();
+    decisions.enable();
+  }
+
+  TraceRecorder trace;
+  CounterRegistry counters;
+  DecisionLog decisions;
+};
+
+}  // namespace cosched

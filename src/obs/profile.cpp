@@ -1,0 +1,60 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace cosched {
+
+bool Profiler::enabled_ = false;
+
+Profiler& Profiler::instance() {
+  static Profiler profiler;
+  return profiler;
+}
+
+void Profiler::add(const char* name, std::uint64_t ns) {
+  for (auto& [section_name, section] : sections_) {
+    if (section_name == name) {
+      ++section.calls;
+      section.total_ns += ns;
+      section.max_ns = std::max(section.max_ns, ns);
+      return;
+    }
+  }
+  sections_.emplace_back(name, Section{.calls = 1, .total_ns = ns, .max_ns = ns});
+}
+
+void Profiler::reset() { sections_.clear(); }
+
+std::vector<std::pair<std::string, Profiler::Section>> Profiler::snapshot()
+    const {
+  auto out = sections_;
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ns > b.second.total_ns;
+  });
+  return out;
+}
+
+void Profiler::write_summary(std::ostream& os) const {
+  const auto sections = snapshot();
+  os << "wall-clock profile (" << sections.size() << " sections)\n";
+  os << "  " << std::left << std::setw(32) << "section" << std::right
+     << std::setw(10) << "calls" << std::setw(12) << "total_ms"
+     << std::setw(12) << "mean_us" << std::setw(12) << "max_us" << "\n";
+  for (const auto& [name, s] : sections) {
+    const double total_ms = static_cast<double>(s.total_ns) / 1e6;
+    const double mean_us =
+        s.calls == 0 ? 0.0
+                     : static_cast<double>(s.total_ns) /
+                           (1e3 * static_cast<double>(s.calls));
+    const double max_us = static_cast<double>(s.max_ns) / 1e3;
+    os << "  " << std::left << std::setw(32) << name << std::right
+       << std::setw(10) << s.calls << std::setw(12) << std::fixed
+       << std::setprecision(3) << total_ms << std::setw(12) << mean_us
+       << std::setw(12) << max_us << "\n";
+  }
+  os.unsetf(std::ios::fixed);
+}
+
+}  // namespace cosched

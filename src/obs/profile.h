@@ -1,0 +1,88 @@
+// Wall-clock scoped timers for the simulator's own hot paths.
+//
+//   void SunflowScheduler::allocation_pass() {
+//     COSCHED_PROF_SCOPE("sunflow.allocation_pass");
+//     ...
+//   }
+//
+// Profiling is off by default; a ProfScope constructed while disabled is a
+// single branch and never touches the clock or the registry, so the macro
+// can sit permanently in hot code. Enable with Profiler::set_enabled(true)
+// (the --profile flag in trace_tools/benches) and print the per-section
+// call counts and wall-clock totals with write_summary().
+//
+// The registry is process-global on purpose: hot paths live in leaf
+// libraries (matching, EPS filling) that know nothing about the driver, and
+// the simulator is single-threaded, so one global map is both reachable
+// from everywhere and race-free.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cosched {
+
+class Profiler {
+ public:
+  struct Section {
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+
+  static Profiler& instance();
+
+  static void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] static bool enabled() { return enabled_; }
+
+  void add(const char* name, std::uint64_t ns);
+  void reset();
+
+  /// Sections sorted by total wall-clock, descending.
+  [[nodiscard]] std::vector<std::pair<std::string, Section>> snapshot() const;
+
+  /// Per-section table: calls, total ms, mean us, max us.
+  void write_summary(std::ostream& os) const;
+
+ private:
+  Profiler() = default;
+
+  static bool enabled_;
+  // Linear scan over interned names: the simulator has ~10 instrumented
+  // sections, and add() is only reached when profiling is on.
+  std::vector<std::pair<std::string, Section>> sections_;
+};
+
+/// RAII timer feeding the global Profiler; inert when profiling is off.
+class ProfScope {
+ public:
+  explicit ProfScope(const char* name)
+      : name_(name), active_(Profiler::enabled()) {
+    if (active_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ProfScope() {
+    if (!active_) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    Profiler::instance().add(name_, static_cast<std::uint64_t>(ns));
+  }
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  const char* name_;
+  bool active_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cosched
+
+#define COSCHED_PROF_CONCAT_INNER(a, b) a##b
+#define COSCHED_PROF_CONCAT(a, b) COSCHED_PROF_CONCAT_INNER(a, b)
+#define COSCHED_PROF_SCOPE(name) \
+  ::cosched::ProfScope COSCHED_PROF_CONCAT(cosched_prof_scope_, __LINE__)(name)

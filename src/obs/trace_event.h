@@ -1,0 +1,86 @@
+// Typed simulation-time trace events.
+//
+// A TraceEvent is a fixed-size, trivially-copyable record of one thing the
+// simulation did: a task starting, a container being granted (with its OCAS
+// priority class), a coflow being released, a flow being routed to a
+// fabric, an optical circuit being configured or torn down, the deadlock
+// breaker engaging. Events carry ids and at most two scalar payloads — no
+// strings and no heap — so recording one is a bounds check and a struct
+// copy. Human-readable names appear only at export time.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace cosched {
+
+enum class TraceEventKind : std::uint8_t {
+  kJobArrival,         // job
+  kJobComplete,        // job
+  kTaskStart,          // job, task, src=rack; a: 0=map 1=reduce
+  kTaskFinish,         // job, task, src=rack; a: 0=map 1=reduce
+  kContainerGrant,     // job, task, src=rack; a: OCAS class (1..6, -1 n/a)
+  kReduceComputeStart, // job, task, src=rack
+  kCoflowRelease,      // job; a: flows released so far; b: demand (GB)
+  kFlowRouted,         // job, flow, src, dst; a: FlowPath; b: size (GB)
+  kFlowComplete,       // job, flow, src, dst; a: FlowPath
+  kCircuitSetup,       // src, dst (reconfiguration begins)
+  kCircuitUp,          // src, dst (circuit carries traffic)
+  kCircuitTeardown,    // src, dst
+  kDeadlockBreak,      // a: total breaks so far
+};
+
+/// Export-time names; indexable by static_cast<size_t>(kind).
+[[nodiscard]] constexpr const char* to_string(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kJobArrival:
+      return "job_arrival";
+    case TraceEventKind::kJobComplete:
+      return "job_complete";
+    case TraceEventKind::kTaskStart:
+      return "task_start";
+    case TraceEventKind::kTaskFinish:
+      return "task_finish";
+    case TraceEventKind::kContainerGrant:
+      return "container_grant";
+    case TraceEventKind::kReduceComputeStart:
+      return "reduce_compute_start";
+    case TraceEventKind::kCoflowRelease:
+      return "coflow_release";
+    case TraceEventKind::kFlowRouted:
+      return "flow_routed";
+    case TraceEventKind::kFlowComplete:
+      return "flow_complete";
+    case TraceEventKind::kCircuitSetup:
+      return "circuit_setup";
+    case TraceEventKind::kCircuitUp:
+      return "circuit_up";
+    case TraceEventKind::kCircuitTeardown:
+      return "circuit_teardown";
+    case TraceEventKind::kDeadlockBreak:
+      return "deadlock_break";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  TraceEventKind kind{};
+  SimTime at;
+  JobId job = JobId::invalid();
+  TaskId task = TaskId::invalid();
+  FlowId flow = FlowId::invalid();
+  RackId src = RackId::invalid();
+  RackId dst = RackId::invalid();
+  std::int64_t a = 0;
+  double b = 0.0;
+
+  friend bool operator==(const TraceEvent& x, const TraceEvent& y) {
+    return x.kind == y.kind && x.at == y.at && x.job == y.job &&
+           x.task == y.task && x.flow == y.flow && x.src == y.src &&
+           x.dst == y.dst && x.a == y.a && x.b == y.b;
+  }
+};
+
+}  // namespace cosched

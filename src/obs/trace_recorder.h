@@ -1,0 +1,65 @@
+// TraceRecorder: capture typed sim-time events and export them.
+//
+// The default-constructed recorder is the *null* recorder: disabled, and
+// record() is an inline early-return — no allocation, no copy, nothing on
+// the hot path beyond one predictable branch. Model code therefore records
+// unconditionally through whatever pointer it holds; a disabled (or absent)
+// recorder costs ~nothing, which is what lets tier-1 runs keep tracing
+// compiled in.
+//
+// Exports:
+//   * write_chrome_trace — Chrome trace_event JSON (open in chrome://tracing
+//     or https://ui.perfetto.dev). Tasks become per-task duration spans
+//     grouped under one "process" per job; circuits become spans on the
+//     network process, one "thread" row per source rack; counter samples
+//     (optional) become counter tracks.
+//   * write_csv — flat timeline, one event per row, for ad-hoc plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/trace_event.h"
+
+namespace cosched {
+
+class CounterRegistry;
+
+class TraceRecorder {
+ public:
+  /// Null (disabled) recorder.
+  TraceRecorder() = default;
+
+  void enable(bool on = true) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Record one event. No-op (and allocation-free) when disabled.
+  void record(const TraceEvent& ev) {
+    if (!enabled_) return;
+    events_.push_back(ev);
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Events of one kind (export helpers and tests).
+  [[nodiscard]] std::int64_t count(TraceEventKind kind) const;
+
+  /// Chrome trace_event JSON. When `counters` is given, its samples are
+  /// emitted as counter ("C") tracks alongside the events.
+  void write_chrome_trace(std::ostream& os,
+                          const CounterRegistry* counters = nullptr) const;
+
+  /// CSV timeline: time_sec,kind,job,task,flow,src,dst,a,b.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace cosched

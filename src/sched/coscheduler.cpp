@@ -6,6 +6,9 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "obs/decision_log.h"
+#include "obs/observability.h"
+#include "obs/profile.h"
 #include "sched/fairness.h"
 
 namespace cosched {
@@ -136,6 +139,7 @@ void CoScheduler::on_job_submitted(Job& job, SchedContext& ctx) {
 }
 
 void CoScheduler::on_maps_completed(Job& job, SchedContext& ctx) {
+  COSCHED_PROF_SCOPE("coscheduler.on_maps_completed");
   if (!opts_.enable_reduce_planning) return;
   if (!job.shuffle_heavy() || job.spec().num_reduces == 0) return;
 
@@ -165,7 +169,9 @@ void CoScheduler::select_best_schedule(
   (void)map_racks;
   double best_score = std::numeric_limits<double>::infinity();
   std::map<RackId, std::int32_t> best_plan;
+  std::vector<std::int32_t> best_d;
   Duration best_cct = Duration::zero();
+  Duration best_t_max = Duration::zero();
 
   for (const PossibleSchedule& ps : schedules) {
     // ExploreSchedule (Algorithm 1): descending D, each d_i to the
@@ -201,11 +207,27 @@ void CoScheduler::select_best_schedule(
     if (score < best_score) {
       best_score = score;
       best_plan = std::move(plan);
+      best_d = std::move(d);
       best_cct = ps.cct;
+      best_t_max = t_max;
     }
   }
 
   if (!best_plan.empty()) {
+    if (ctx.obs != nullptr) {
+      PlacementDecision dec;
+      dec.at = ctx.now;
+      dec.job = job.id();
+      dec.r_map = job.r_map_guideline();
+      dec.r_red = static_cast<std::int32_t>(best_plan.size());
+      dec.d = best_d;
+      dec.plan.assign(best_plan.begin(), best_plan.end());
+      dec.planned_cct = best_cct;
+      dec.t_max = best_t_max;
+      dec.score_sec = best_score;
+      dec.candidates = static_cast<std::int64_t>(schedules.size());
+      ctx.obs->decisions.record(std::move(dec));
+    }
     job.set_reduce_plan(std::move(best_plan), best_cct);
   }
 }
@@ -245,7 +267,7 @@ std::optional<TaskChoice> CoScheduler::pick_task(RackId rack,
       if (!job->shuffle_heavy() || !job->has_reduce_plan()) continue;
       if (job->reduce_plan_remaining(rack) <= 0) continue;
       if (!reduces_eligible(*job, ctx)) continue;
-      if (Task* t = job->next_pending_reduce()) return TaskChoice{job, t};
+      if (Task* t = job->next_pending_reduce()) return TaskChoice{job, t, 1};
     }
     // 2. Map from a shuffle-heavy job whose data is on this rack and which
     //    keeps the job's maps on its R_map guideline racks.
@@ -253,32 +275,32 @@ std::optional<TaskChoice> CoScheduler::pick_task(RackId rack,
       if (!job->shuffle_heavy() || job->r_map_guideline() <= 0) continue;
       if (!job->in_map_guideline(rack)) continue;
       if (Task* t = job->next_pending_map_local(rack)) {
-        return TaskChoice{job, t};
+        return TaskChoice{job, t, 2};
       }
     }
     // 3. Reduce from a non-shuffle-heavy job.
     for (Job* job : jobs) {
       if (job->shuffle_heavy()) continue;
       if (!reduces_eligible(*job, ctx)) continue;
-      if (Task* t = job->next_pending_reduce()) return TaskChoice{job, t};
+      if (Task* t = job->next_pending_reduce()) return TaskChoice{job, t, 3};
     }
     // 4. Any map from a non-shuffle-heavy job (local first).
     for (Job* job : jobs) {
       if (job->shuffle_heavy()) continue;
       if (Task* t = job->next_pending_map_local(rack)) {
-        return TaskChoice{job, t};
+        return TaskChoice{job, t, 4};
       }
     }
     for (Job* job : jobs) {
       if (job->shuffle_heavy()) continue;
-      if (Task* t = job->next_pending_map_any()) return TaskChoice{job, t};
+      if (Task* t = job->next_pending_map_any()) return TaskChoice{job, t, 4};
     }
     // 5. Any available reduce: shuffle-heavy jobs with no plan (their map
     //    output cannot use the OCS anyway). Planned jobs stay on plan.
     for (Job* job : jobs) {
       if (!job->shuffle_heavy() || job->has_reduce_plan()) continue;
       if (!reduces_eligible(*job, ctx)) continue;
-      if (Task* t = job->next_pending_reduce()) return TaskChoice{job, t};
+      if (Task* t = job->next_pending_reduce()) return TaskChoice{job, t, 5};
     }
     // 6. Any available map. For a guided shuffle-heavy job this is the
     //    overflow path (maps beyond the R_map cap or off the data racks,
@@ -288,12 +310,12 @@ std::optional<TaskChoice> CoScheduler::pick_task(RackId rack,
     for (Job* job : jobs) {
       if (!map_overflow_allowed(*job, ctx)) continue;
       if (Task* t = job->next_pending_map_local(rack)) {
-        return TaskChoice{job, t};
+        return TaskChoice{job, t, 6};
       }
     }
     for (Job* job : jobs) {
       if (!map_overflow_allowed(*job, ctx)) continue;
-      if (Task* t = job->next_pending_map_any()) return TaskChoice{job, t};
+      if (Task* t = job->next_pending_map_any()) return TaskChoice{job, t, 6};
     }
   }
   return std::nullopt;

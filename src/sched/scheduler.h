@@ -15,6 +15,7 @@
 // all maps finish (Section IV-A of the paper).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -28,6 +29,8 @@
 
 namespace cosched {
 
+struct Observability;
+
 /// Everything a scheduler may consult when deciding.
 struct SchedContext {
   SimTime now;
@@ -40,11 +43,16 @@ struct SchedContext {
   /// Fraction of a job's maps that must finish before an overlapping
   /// scheduler may place its reduces (Hadoop slow-start; baselines only).
   double reduce_slowstart = 0.05;
+  /// Optional tracing/decision-log bundle; null when not observing.
+  Observability* obs = nullptr;
 };
 
 struct TaskChoice {
   Job* job;
   Task* task;
+  /// OCAS priority class (1..6) that selected the task; -1 for schedulers
+  /// without priority classes.
+  std::int32_t priority_class = -1;
 };
 
 class JobScheduler {

@@ -4,6 +4,8 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "obs/observability.h"
+#include "obs/profile.h"
 
 namespace cosched {
 
@@ -21,11 +23,63 @@ SimulationDriver::SimulationDriver(SimConfig cfg, std::vector<JobSpec> workload,
   COSCHED_CHECK(scheduler_ != nullptr);
   cfg_.topo.validate();
   sunflow_.set_on_flow_complete([this](Flow& f) { on_flow_complete(f); });
+  if (cfg_.obs != nullptr) {
+    net_.ocs().set_trace(&cfg_.obs->trace);
+    sunflow_.set_observability(cfg_.obs);
+    register_counters();
+  }
+}
+
+void SimulationDriver::register_counters() {
+  CounterRegistry& c = cfg_.obs->counters;
+  c.add_gauge("sim.events_live",
+              [this] { return static_cast<double>(sim_.events_pending()); });
+  c.add_gauge("sim.events_raw", [this] {
+    return static_cast<double>(sim_.events_pending_raw());
+  });
+  c.add_gauge("jobs.active",
+              [this] { return static_cast<double>(active_jobs_.size()); });
+  c.add_gauge("tasks.pending",
+              [this] { return static_cast<double>(pending_tasks_); });
+  const double total_slots = static_cast<double>(
+      cfg_.topo.num_racks * cfg_.topo.slots_per_rack());
+  c.add_gauge("cluster.containers_used", [this, total_slots] {
+    return total_slots - static_cast<double>(cluster_.total_free_slots());
+  });
+  for (std::int32_t r = 0; r < cfg_.topo.num_racks; ++r) {
+    c.add_gauge("cluster.rack_used." + std::to_string(r), [this, r] {
+      return static_cast<double>(cluster_.used_slots(RackId{r}));
+    });
+  }
+  c.add_gauge("ocs.circuits_active", [this] {
+    return static_cast<double>(net_.ocs().active_circuits());
+  });
+  c.add_gauge("ocs.utilization", [this] {
+    return static_cast<double>(net_.ocs().active_circuits()) /
+           static_cast<double>(cfg_.topo.num_racks);
+  });
+  c.add_gauge("ocs.transfers_active", [this] {
+    return static_cast<double>(sunflow_.active_transfers());
+  });
+  c.add_gauge("ocs.gb_in_flight",
+              [this] { return sunflow_.bytes_in_flight().in_gigabytes(); });
+  c.add_gauge("coflows.active", [this] {
+    return static_cast<double>(sunflow_.active_coflows());
+  });
+  c.add_gauge("eps.flows_active", [this] {
+    return static_cast<double>(net_.eps().active_flows());
+  });
+  c.add_gauge("eps.gb_in_flight",
+              [this] { return net_.eps().bytes_in_flight().in_gigabytes(); });
+  c.add_gauge("eps.replans", [this] {
+    return static_cast<double>(net_.eps().replans());
+  });
 }
 
 SchedContext SimulationDriver::make_context() {
-  return SchedContext{sim_.now(),     cfg_.topo, cluster_, active_jobs_,
-                      *this,          rng_,      cfg_.reduce_slowstart};
+  return SchedContext{sim_.now(), cfg_.topo, cluster_,
+                      active_jobs_, *this,   rng_,
+                      cfg_.reduce_slowstart,  cfg_.obs};
 }
 
 RunMetrics SimulationDriver::run() {
@@ -33,6 +87,9 @@ RunMetrics SimulationDriver::run() {
     sim_.schedule_at(workload_[i].arrival, [this, i] { on_job_arrival(i); });
   }
   while (true) {
+    // (Re-)arm the counter sampler: it disarms itself whenever the queue
+    // would otherwise drain, so each recovery round needs a fresh arm.
+    if (cfg_.obs != nullptr) cfg_.obs->counters.arm(sim_);
     sim_.run();
     if (jobs_completed_ == static_cast<std::int64_t>(workload_.size())) break;
     COSCHED_CHECK_MSG(break_deadlock(),
@@ -94,6 +151,11 @@ void SimulationDriver::on_job_arrival(std::size_t workload_index) {
   active_jobs_.push_back(job);
   pending_tasks_ += spec.num_maps + spec.num_reduces;
 
+  if (cfg_.obs != nullptr) {
+    cfg_.obs->trace.record({.kind = TraceEventKind::kJobArrival,
+                            .at = sim_.now(),
+                            .job = job->id()});
+  }
   SchedContext ctx = make_context();
   scheduler_->on_job_submitted(*job, ctx);
   COSCHED_CHECK_MSG(job->has_block_placement(),
@@ -112,6 +174,7 @@ void SimulationDriver::request_dispatch() {
 }
 
 void SimulationDriver::dispatch() {
+  COSCHED_PROF_SCOPE("driver.dispatch");
   if (pending_tasks_ == 0) return;
   SchedContext ctx = make_context();
   const std::int32_t racks = cfg_.topo.num_racks;
@@ -129,7 +192,7 @@ void SimulationDriver::dispatch() {
       if (cluster_.free_slots(rack) == 0) continue;
       auto choice = scheduler_->pick_task(rack, ctx);
       if (!choice.has_value()) continue;
-      start_task(*choice->job, *choice->task, rack);
+      start_task(*choice->job, *choice->task, rack, choice->priority_class);
       progress = true;
       placed_any = true;
     }
@@ -148,11 +211,35 @@ void SimulationDriver::dispatch() {
   }
 }
 
-void SimulationDriver::start_task(Job& job, Task& task, RackId rack) {
+void SimulationDriver::start_task(Job& job, Task& task, RackId rack,
+                                  std::int32_t grant_class) {
   const NodeId node = cluster_.allocate_slot(rack);
   task.place(rack, node, sim_.now());
   running_by_rack_[static_cast<std::size_t>(rack.value())].push_back(&task);
   --pending_tasks_;
+
+  const bool is_map = task.kind() == TaskKind::kMap;
+  if (cfg_.obs != nullptr) {
+    cfg_.obs->trace.record({.kind = TraceEventKind::kContainerGrant,
+                            .at = sim_.now(),
+                            .job = job.id(),
+                            .task = task.id(),
+                            .src = rack,
+                            .a = grant_class});
+    cfg_.obs->trace.record({.kind = TraceEventKind::kTaskStart,
+                            .at = sim_.now(),
+                            .job = job.id(),
+                            .task = task.id(),
+                            .src = rack,
+                            .a = is_map ? 0 : 1});
+    cfg_.obs->decisions.record(GrantDecision{.at = sim_.now(),
+                                             .rack = rack,
+                                             .job = job.id(),
+                                             .task = task.id(),
+                                             .user = job.spec().user,
+                                             .is_map = is_map,
+                                             .ocas_class = grant_class});
+  }
 
   if (task.kind() == TaskKind::kMap) {
     job.note_map_placed(rack);
@@ -196,6 +283,14 @@ void SimulationDriver::remove_running(RackId rack, Task& task) {
 
 void SimulationDriver::on_map_complete(Job& job, Task& task) {
   task.complete(sim_.now());
+  if (cfg_.obs != nullptr) {
+    cfg_.obs->trace.record({.kind = TraceEventKind::kTaskFinish,
+                            .at = sim_.now(),
+                            .job = job.id(),
+                            .task = task.id(),
+                            .src = task.rack(),
+                            .a = 0});
+  }
   remove_running(task.rack(), task);
   cluster_.release_slot(task.rack(), task.node());
   trem_.forget(task.id());
@@ -216,6 +311,7 @@ void SimulationDriver::on_map_complete(Job& job, Task& task) {
 void SimulationDriver::sync_reduce_demand(Job& job) {
   COSCHED_CHECK(job.all_maps_done());
   std::map<RackId, std::int32_t>& demanded = demanded_[job.id()];
+  const bool first_release = !job.shuffle_released();
   job.mark_shuffle_released();
   job.coflow().mark_released(sim_.now());
   std::vector<RackId> touched;
@@ -234,6 +330,14 @@ void SimulationDriver::sync_reduce_demand(Job& job) {
       route_flow(job, *flow, created);
     }
   }
+  if (first_release && cfg_.obs != nullptr) {
+    cfg_.obs->trace.record(
+        {.kind = TraceEventKind::kCoflowRelease,
+         .at = sim_.now(),
+         .job = job.id(),
+         .a = static_cast<std::int64_t>(job.coflow().flows().size()),
+         .b = job.coflow().total_demand().in_gigabytes()});
+  }
   for (RackId rack : touched) try_start_reduce_computes(job, rack);
 }
 
@@ -243,6 +347,16 @@ void SimulationDriver::route_flow(Job& job, Flow& flow, bool created) {
     COSCHED_DEBUG() << "job " << job.id() << " flow " << flow.src() << "->"
                     << flow.dst() << " " << flow.size() << " via "
                     << to_string(flow.path());
+    if (cfg_.obs != nullptr) {
+      cfg_.obs->trace.record({.kind = TraceEventKind::kFlowRouted,
+                              .at = sim_.now(),
+                              .job = flow.job(),
+                              .flow = flow.id(),
+                              .src = flow.src(),
+                              .dst = flow.dst(),
+                              .a = static_cast<std::int64_t>(flow.path()),
+                              .b = flow.size().in_gigabytes()});
+    }
     flows_in_fabric_.insert(flow.id());
     if (flow.path() == FlowPath::kOcs) {
       sunflow_.submit(job.coflow(), flow);
@@ -273,6 +387,15 @@ void SimulationDriver::route_flow(Job& job, Flow& flow, bool created) {
 
 void SimulationDriver::on_flow_complete(Flow& flow) {
   flows_in_fabric_.erase(flow.id());
+  if (cfg_.obs != nullptr) {
+    cfg_.obs->trace.record({.kind = TraceEventKind::kFlowComplete,
+                            .at = sim_.now(),
+                            .job = flow.job(),
+                            .flow = flow.id(),
+                            .src = flow.src(),
+                            .dst = flow.dst(),
+                            .a = static_cast<std::int64_t>(flow.path())});
+  }
   Job* job = job_by_id_.at(flow.job());
   if (job->all_maps_done() && job->all_reduces_placed() &&
       job->coflow().all_flows_complete() && !job->coflow().completed()) {
@@ -295,6 +418,13 @@ void SimulationDriver::try_start_reduce_computes(Job& job, RackId rack) {
     if (t.state() != TaskState::kRunning || t.compute_started()) continue;
     if (t.rack() != rack) continue;
     t.begin_compute(sim_.now());
+    if (cfg_.obs != nullptr) {
+      cfg_.obs->trace.record({.kind = TraceEventKind::kReduceComputeStart,
+                              .at = sim_.now(),
+                              .job = job.id(),
+                              .task = t.id(),
+                              .src = rack});
+    }
     Job* jp = &job;
     Task* tp = &t;
     sim_.schedule_after(t.run_duration(),
@@ -304,6 +434,14 @@ void SimulationDriver::try_start_reduce_computes(Job& job, RackId rack) {
 
 void SimulationDriver::on_reduce_complete(Job& job, Task& task) {
   task.complete(sim_.now());
+  if (cfg_.obs != nullptr) {
+    cfg_.obs->trace.record({.kind = TraceEventKind::kTaskFinish,
+                            .at = sim_.now(),
+                            .job = job.id(),
+                            .task = task.id(),
+                            .src = task.rack(),
+                            .a = 1});
+  }
   remove_running(task.rack(), task);
   cluster_.release_slot(task.rack(), task.node());
   trem_.forget(task.id());
@@ -315,6 +453,11 @@ void SimulationDriver::on_reduce_complete(Job& job, Task& task) {
 void SimulationDriver::finish_job(Job& job) {
   COSCHED_CHECK(!job.completed());
   job.mark_completed(sim_.now());
+  if (cfg_.obs != nullptr) {
+    cfg_.obs->trace.record({.kind = TraceEventKind::kJobComplete,
+                            .at = sim_.now(),
+                            .job = job.id()});
+  }
   last_completion_ = std::max(last_completion_, sim_.now());
   ++jobs_completed_;
   auto it = std::find(active_jobs_.begin(), active_jobs_.end(), &job);
@@ -343,6 +486,11 @@ bool SimulationDriver::break_deadlock() {
   }
   if (changed) {
     ++deadlock_breaks_;
+    if (cfg_.obs != nullptr) {
+      cfg_.obs->trace.record({.kind = TraceEventKind::kDeadlockBreak,
+                              .at = sim_.now(),
+                              .a = deadlock_breaks_});
+    }
     COSCHED_WARN() << "deadlock breaker engaged (" << deadlock_breaks_
                    << " total)";
     request_dispatch();
@@ -352,6 +500,7 @@ bool SimulationDriver::break_deadlock() {
 
 Duration SimulationDriver::estimate_availability(RackId rack,
                                                  std::int64_t count) {
+  COSCHED_PROF_SCOPE("driver.estimate_availability");
   COSCHED_CHECK(count > 0);
   if (count > cfg_.topo.slots_per_rack()) return Duration::infinity();
   const std::int64_t free = cluster_.free_slots(rack);

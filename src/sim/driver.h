@@ -43,6 +43,8 @@
 
 namespace cosched {
 
+struct Observability;
+
 struct SimConfig {
   HybridTopology topo;
   /// Hadoop slow-start fraction for overlapping schedulers: the share of a
@@ -53,6 +55,9 @@ struct SimConfig {
   /// T_rem estimation error rate (Figure 7's knob).
   double trem_error_rate = 0.0;
   std::uint64_t seed = 1;
+  /// Optional tracing/counters/decision-log bundle (must outlive the
+  /// driver). Null — the default — records nothing and costs ~nothing.
+  Observability* obs = nullptr;
 };
 
 class SimulationDriver : public AvailabilityOracle {
@@ -73,7 +78,10 @@ class SimulationDriver : public AvailabilityOracle {
   void on_job_arrival(std::size_t workload_index);
   void request_dispatch();
   void dispatch();
-  void start_task(Job& job, Task& task, RackId rack);
+  void start_task(Job& job, Task& task, RackId rack,
+                  std::int32_t grant_class);
+  /// Register the driver's gauges with cfg_.obs->counters (ctor-time).
+  void register_counters();
 
   void on_map_complete(Job& job, Task& task);
   void on_reduce_complete(Job& job, Task& task);

@@ -13,6 +13,8 @@ EventHandle Simulator::schedule_at(SimTime when, std::function<void()> action) {
   rec->when = when;
   rec->seq = next_seq_++;
   rec->action = std::move(action);
+  rec->live = live_;
+  ++*live_;
   queue_.push(rec);
   return EventHandle{rec};
 }
@@ -22,6 +24,10 @@ bool Simulator::step() {
     auto rec = queue_.top();
     queue_.pop();
     if (rec->cancelled) continue;
+    // Mark the record consumed before running it: the action may cancel its
+    // own handle (EPS replan does), and that must not decrement live again.
+    rec->cancelled = true;
+    --*live_;
     now_ = rec->when;
     ++events_executed_;
     if (events_executed_ % 1000000 == 0) {

@@ -30,6 +30,9 @@ struct EventRecord {
   std::uint64_t seq = 0;
   std::function<void()> action;
   bool cancelled = false;
+  // Owning simulator's live-event count. Shared so a handle can decrement
+  // on cancel without holding a Simulator pointer (handles may outlive it).
+  std::shared_ptr<std::int64_t> live;
 };
 
 struct EventLater {
@@ -50,7 +53,12 @@ class EventHandle {
 
   /// Prevent the event from firing. Safe to call repeatedly.
   void cancel() {
-    if (auto rec = record_.lock()) rec->cancelled = true;
+    if (auto rec = record_.lock()) {
+      if (!rec->cancelled) {
+        rec->cancelled = true;
+        if (rec->live) --*rec->live;
+      }
+    }
   }
 
   /// True if the event is still queued and will fire.
@@ -99,13 +107,24 @@ class Simulator {
     return events_executed_;
   }
 
-  /// Number of events currently queued, including tombstones.
-  [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
+  /// Number of *live* events queued — events that will actually fire.
+  /// Cancelled events leave tombstones in the queue but are not counted
+  /// here; use events_pending_raw() for the physical queue size.
+  [[nodiscard]] std::size_t events_pending() const {
+    return static_cast<std::size_t>(*live_);
+  }
+
+  /// Physical queue size, including tombstones awaiting pop (diagnostics:
+  /// the gap to events_pending() is the tombstone backlog).
+  [[nodiscard]] std::size_t events_pending_raw() const {
+    return queue_.size();
+  }
 
  private:
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
+  std::shared_ptr<std::int64_t> live_ = std::make_shared<std::int64_t>(0);
   std::priority_queue<std::shared_ptr<detail::EventRecord>,
                       std::vector<std::shared_ptr<detail::EventRecord>>,
                       detail::EventLater>

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 #include <sstream>
 #include <vector>
@@ -286,6 +287,43 @@ TEST(Log, SinkCapturesAtOrAboveLevel) {
   ASSERT_EQ(lines.size(), 2u);
   EXPECT_EQ(lines[0], "shown 1");
   EXPECT_EQ(lines[1], "error");
+}
+
+TEST(Log, ParseLogLevelAcceptsAllNamesCaseInsensitively) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Debug"), LogLevel::kDebug);
+}
+
+TEST(Log, ParseLogLevelRejectsGarbage) {
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("info "), std::nullopt);
+  EXPECT_EQ(parse_log_level("2"), std::nullopt);
+}
+
+TEST(Log, InitFromEnvAppliesAndIgnoresBadValues) {
+  const LogLevel before = Log::level();
+  ::setenv("COSCHED_LOG_LEVEL", "error", 1);
+  Log::init_from_env();
+  EXPECT_EQ(Log::level(), LogLevel::kError);
+
+  // Unparsable and unset values leave the level untouched.
+  ::setenv("COSCHED_LOG_LEVEL", "bogus", 1);
+  Log::init_from_env();
+  EXPECT_EQ(Log::level(), LogLevel::kError);
+  ::unsetenv("COSCHED_LOG_LEVEL");
+  Log::init_from_env();
+  EXPECT_EQ(Log::level(), LogLevel::kError);
+
+  Log::set_level(before);
 }
 
 }  // namespace

@@ -121,6 +121,89 @@ TEST(Report, TimelineCsvHasHeaderAndRows) {
   EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
 }
 
+TEST(Report, PercentileDigestsEmptyRunAreZero) {
+  RunMetrics m;
+  m.scheduler = "t";
+  const PercentileDigest jct = jct_percentiles(m);
+  EXPECT_DOUBLE_EQ(jct.p50, 0.0);
+  EXPECT_DOUBLE_EQ(jct.p90, 0.0);
+  EXPECT_DOUBLE_EQ(jct.p99, 0.0);
+  EXPECT_DOUBLE_EQ(jct.max, 0.0);
+  // A run whose jobs all lack shuffles has an empty CCT digest too.
+  m.jobs.push_back(make_job(0, 0, false, 10, 0));
+  const PercentileDigest cct = cct_percentiles(m);
+  EXPECT_DOUBLE_EQ(cct.max, 0.0);
+}
+
+TEST(Report, PercentileDigestsSingleJobCollapse) {
+  RunMetrics m;
+  m.scheduler = "t";
+  m.jobs.push_back(make_job(0, 0, true, 42, 7));
+  const PercentileDigest jct = jct_percentiles(m);
+  EXPECT_DOUBLE_EQ(jct.p50, 42.0);
+  EXPECT_DOUBLE_EQ(jct.p90, 42.0);
+  EXPECT_DOUBLE_EQ(jct.p99, 42.0);
+  EXPECT_DOUBLE_EQ(jct.max, 42.0);
+  const PercentileDigest cct = cct_percentiles(m);
+  EXPECT_DOUBLE_EQ(cct.p50, 7.0);
+  EXPECT_DOUBLE_EQ(cct.max, 7.0);
+}
+
+TEST(Report, PercentileDigestsDuplicateValues) {
+  RunMetrics m;
+  m.scheduler = "t";
+  for (int i = 0; i < 5; ++i) m.jobs.push_back(make_job(i, 0, false, 10, 0));
+  const PercentileDigest jct = jct_percentiles(m);
+  EXPECT_DOUBLE_EQ(jct.p50, 10.0);
+  EXPECT_DOUBLE_EQ(jct.p90, 10.0);
+  EXPECT_DOUBLE_EQ(jct.p99, 10.0);
+  EXPECT_DOUBLE_EQ(jct.max, 10.0);
+}
+
+TEST(Report, JainIndexSingleUserIsOne) {
+  RunMetrics m;
+  m.scheduler = "t";
+  m.jobs.push_back(make_job(0, 7, false, 10, 0));
+  m.jobs.push_back(make_job(1, 7, false, 90, 0));
+  EXPECT_DOUBLE_EQ(jain_fairness_index(m), 1.0);
+}
+
+TEST(Report, JainIndexAllZeroJctIsOne) {
+  RunMetrics m;
+  m.scheduler = "t";
+  m.jobs.push_back(make_job(0, 0, false, 0, 0));
+  m.jobs.push_back(make_job(1, 1, false, 0, 0));
+  EXPECT_DOUBLE_EQ(jain_fairness_index(m), 1.0);  // 0/0 guarded, not NaN
+}
+
+TEST(Report, JainIndexEmptyRunIsOne) {
+  RunMetrics m;
+  m.scheduler = "t";
+  EXPECT_DOUBLE_EQ(jain_fairness_index(m), 1.0);
+}
+
+TEST(Report, TimelineCsvGoldenOutput) {
+  RunMetrics m;
+  m.scheduler = "t";
+  JobRecord heavy = make_job(3, 1, true, 25, 5);
+  heavy.arrival = SimTime::seconds(10);
+  heavy.completion = SimTime::seconds(35);
+  m.jobs.push_back(heavy);
+  JobRecord light = make_job(4, 0, false, 8, 0);
+  light.has_shuffle = false;
+  light.cct = Duration::seconds(99);  // must be suppressed: no shuffle
+  light.completion = SimTime::seconds(8);
+  m.jobs.push_back(light);
+
+  std::ostringstream os;
+  write_job_timeline_csv(os, m);
+  EXPECT_EQ(os.str(),
+            "job_id,user,shuffle_heavy,arrival_sec,completion_sec,jct_sec,"
+            "cct_sec,shuffle_gb\n"
+            "3,1,1,10,35,25,5,10\n"
+            "4,0,0,0,8,8,0,0.5\n");
+}
+
 TEST(Report, SummaryMentionsKeyQuantities) {
   const RunMetrics m = sample_run();
   std::ostringstream os;

@@ -1,6 +1,7 @@
 // Unit tests for the discrete-event engine.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,66 @@ TEST(Simulator, ExecutesEventsInTimeOrder) {
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
   EXPECT_DOUBLE_EQ(sim.now().sec(), 3.0);
+}
+
+TEST(Simulator, LivePendingCountExcludesTombstones) {
+  Simulator sim;
+  auto h1 = sim.schedule_at(SimTime::seconds(1), [] {});
+  auto h2 = sim.schedule_at(SimTime::seconds(2), [] {});
+  auto h3 = sim.schedule_at(SimTime::seconds(3), [] {});
+  EXPECT_EQ(sim.events_pending(), 3u);
+  EXPECT_EQ(sim.events_pending_raw(), 3u);
+
+  // Cancelling leaves a tombstone in the queue but drops the live count.
+  h2.cancel();
+  EXPECT_EQ(sim.events_pending(), 2u);
+  EXPECT_EQ(sim.events_pending_raw(), 3u);
+
+  // Double-cancel must not decrement twice.
+  h2.cancel();
+  EXPECT_EQ(sim.events_pending(), 2u);
+
+  EXPECT_TRUE(sim.step());  // t=1 fires
+  EXPECT_EQ(sim.events_pending(), 1u);
+  EXPECT_EQ(sim.events_pending_raw(), 2u);  // tombstone still queued
+
+  EXPECT_TRUE(sim.step());  // skips the t=2 tombstone, fires t=3
+  EXPECT_DOUBLE_EQ(sim.now().sec(), 3.0);
+  EXPECT_EQ(sim.events_pending(), 0u);
+  EXPECT_EQ(sim.events_pending_raw(), 0u);
+
+  // Cancelling after the queue drained stays a no-op.
+  h1.cancel();
+  h3.cancel();
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+TEST(Simulator, LivePendingCountTracksExecution) {
+  Simulator sim;
+  sim.schedule_at(SimTime::seconds(1), [&] {
+    EXPECT_EQ(sim.events_pending(), 1u);  // self already popped
+    sim.schedule_after(Duration::seconds(1), [] {});
+  });
+  sim.schedule_at(SimTime::seconds(5), [] {});
+  EXPECT_EQ(sim.events_pending(), 2u);
+  sim.run();
+  EXPECT_EQ(sim.events_pending(), 0u);
+  EXPECT_EQ(sim.events_pending_raw(), 0u);
+}
+
+TEST(Simulator, SelfCancelDuringExecutionDoesNotCorruptLiveCount) {
+  // An action cancelling its own handle (the EPS fabric does this when it
+  // settles a completion event) must not double-decrement the live count.
+  Simulator sim;
+  auto handle = std::make_shared<EventHandle>();
+  *handle = sim.schedule_at(SimTime::seconds(1), [handle] {
+    handle->cancel();  // no-op: the event is already being consumed
+    handle->cancel();
+  });
+  sim.schedule_at(SimTime::seconds(2), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_pending(), 0u);
+  EXPECT_EQ(sim.events_pending_raw(), 0u);
 }
 
 TEST(Simulator, SameTimestampFiresInSchedulingOrder) {
