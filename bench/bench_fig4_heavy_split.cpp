@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
   const ExperimentConfig cfg = paper_config(args);
 
   const auto results =
-      compare_schedulers(cfg, {"fair", "corral", "coscheduler"});
+      compare_schedulers(cfg, {"fair", "corral", "coscheduler"},
+                         args.parallel());
   const AggregateMetrics& fair = results[0];
   const AggregateMetrics& corral = results[1];
   const AggregateMetrics& cosched = results[2];

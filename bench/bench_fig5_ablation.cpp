@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
   const ExperimentConfig cfg = paper_config(args);
 
   const auto results =
-      compare_schedulers(cfg, {"ocas", "mts+ocas", "coscheduler"});
+      compare_schedulers(cfg, {"ocas", "mts+ocas", "coscheduler"},
+                         args.parallel());
   const AggregateMetrics& ocas = results[0];
 
   print_header("Figure 5: normalized to OCAS (lower is better)");

@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
   ExperimentConfig base_cfg = paper_config(args);
   base_cfg.sim.topo.eps_oversubscription = 10.0;
   const AggregateMetrics fair10 =
-      run_experiment(base_cfg, make_scheduler_factory("fair"));
+      run_experiment(base_cfg, make_scheduler_factory("fair"),
+                     args.parallel());
 
   struct Series {
     std::vector<double> makespan, jct, cct;
@@ -28,8 +29,8 @@ int main(int argc, char** argv) {
     ExperimentConfig cfg = paper_config(args);
     cfg.sim.topo.eps_oversubscription = ratio;
     for (std::size_t s = 0; s < names.size(); ++s) {
-      const AggregateMetrics m =
-          run_experiment(cfg, make_scheduler_factory(names[s]));
+      const AggregateMetrics m = run_experiment(
+          cfg, make_scheduler_factory(names[s]), args.parallel());
       series[s].makespan.push_back(m.makespan_sec.mean() /
                                    fair10.makespan_sec.mean());
       series[s].jct.push_back(m.avg_jct_sec.mean() /

@@ -16,17 +16,17 @@ int main(int argc, char** argv) {
   const std::vector<double> errors{0.0, 0.1, 0.2, 0.3, 0.4, 0.5};
 
   ExperimentConfig cfg = paper_config(args);
-  const AggregateMetrics fair =
-      run_experiment(cfg, make_scheduler_factory("fair"));
-  const AggregateMetrics corral =
-      run_experiment(cfg, make_scheduler_factory("corral"));
+  const AggregateMetrics fair = run_experiment(
+      cfg, make_scheduler_factory("fair"), args.parallel());
+  const AggregateMetrics corral = run_experiment(
+      cfg, make_scheduler_factory("corral"), args.parallel());
 
   std::vector<double> makespans, jcts, ccts;
   for (double err : errors) {
     ExperimentConfig ecfg = paper_config(args);
     ecfg.sim.trem_error_rate = err;
-    const AggregateMetrics m =
-        run_experiment(ecfg, make_scheduler_factory("coscheduler"));
+    const AggregateMetrics m = run_experiment(
+        ecfg, make_scheduler_factory("coscheduler"), args.parallel());
     makespans.push_back(m.makespan_sec.mean() / fair.makespan_sec.mean());
     jcts.push_back(m.avg_jct_sec.mean() / fair.avg_jct_sec.mean());
     ccts.push_back(m.avg_cct_sec.mean() / fair.avg_cct_sec.mean());

@@ -2,11 +2,18 @@
 // the paper's experiment defaults, and table printing.
 //
 // Every bench accepts:
-//   --reps=N    repetitions (paper: 20; default 3 to keep CI fast)
-//   --jobs=N    jobs per repetition (paper: 1000)
-//   --seed=N    base seed
+//   --reps=N     repetitions (paper: 20; default 3 to keep CI fast)
+//   --jobs=N     jobs per repetition (paper: 1000)
+//   --seed=N     base seed
+//   --threads=N  worker threads sharding independent runs (default 1 =
+//                serial; 0 = one per hardware thread). Results are
+//                bit-for-bit identical for every thread count — see
+//                ParallelExperimentConfig and ctest -L determinism.
 // and prints one table per figure panel, with values normalized exactly the
 // way the paper normalizes them (to the Fair scheduler unless stated).
+//
+// Numeric flags are parsed strictly: non-numeric, trailing-garbage, or
+// out-of-range values are errors, not silent zeros.
 //
 // Observability (benches that support it, currently bench_fig3_overall):
 //   --trace-out=PATH      Chrome trace JSON of one coscheduler repetition
@@ -14,10 +21,13 @@
 //   --profile             wall-clock profile of simulator hot paths
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,10 +35,37 @@
 
 namespace cosched::bench {
 
+/// Strict decimal parse of a whole C string into [min_value, max_value];
+/// rejects empty input, any trailing characters, and overflow.
+inline bool parse_int32(const char* s, std::int32_t min_value,
+                        std::int32_t max_value, std::int32_t* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (errno == ERANGE || end == s || *end != '\0') return false;
+  if (v < min_value || v > max_value) return false;
+  *out = static_cast<std::int32_t>(v);
+  return true;
+}
+
+/// Strict decimal parse of a whole C string into a uint64 (no leading '-').
+inline bool parse_uint64(const char* s, std::uint64_t* out) {
+  if (s == nullptr || *s == '\0' || *s == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno == ERANGE || end == s || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
 struct BenchArgs {
   std::int32_t reps = 2;
   std::int32_t jobs = 200;
   std::uint64_t seed = 42;
+  /// 1 = serial (default), 0 = all hardware threads, N > 1 = N workers.
+  std::int32_t threads = 1;
   std::string trace_out;
   std::string counters_out;
   bool profile = false;
@@ -37,8 +74,21 @@ struct BenchArgs {
     return !trace_out.empty() || !counters_out.empty();
   }
 
-  static BenchArgs parse(int argc, char** argv) {
+  /// The run-sharding config benches pass to run_experiment /
+  /// compare_schedulers.
+  [[nodiscard]] ParallelExperimentConfig parallel() const {
+    ParallelExperimentConfig par;
+    par.threads = threads;
+    return par;
+  }
+
+  /// Parse argv. On any error, `*error` gets a message and nullopt is
+  /// returned; `*help` is set when --help/-h was seen (caller prints usage).
+  static std::optional<BenchArgs> parse_or_error(int argc, char** argv,
+                                                 std::string* error,
+                                                 bool* help) {
     BenchArgs args;
+    *help = false;
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
       auto value = [&](const char* prefix) -> const char* {
@@ -46,11 +96,33 @@ struct BenchArgs {
                                        : nullptr;
       };
       if (const char* reps = value("--reps=")) {
-        args.reps = std::atoi(reps);
+        if (!parse_int32(reps, 1, std::numeric_limits<std::int32_t>::max(),
+                         &args.reps)) {
+          *error = "--reps expects a positive integer, got '" +
+                   std::string(reps) + "'";
+          return std::nullopt;
+        }
       } else if (const char* jobs = value("--jobs=")) {
-        args.jobs = std::atoi(jobs);
+        if (!parse_int32(jobs, 1, std::numeric_limits<std::int32_t>::max(),
+                         &args.jobs)) {
+          *error = "--jobs expects a positive integer, got '" +
+                   std::string(jobs) + "'";
+          return std::nullopt;
+        }
       } else if (const char* seed = value("--seed=")) {
-        args.seed = std::strtoull(seed, nullptr, 10);
+        if (!parse_uint64(seed, &args.seed)) {
+          *error = "--seed expects a non-negative integer, got '" +
+                   std::string(seed) + "'";
+          return std::nullopt;
+        }
+      } else if (const char* threads = value("--threads=")) {
+        if (!parse_int32(threads, 0, std::numeric_limits<std::int32_t>::max(),
+                         &args.threads)) {
+          *error = "--threads expects an integer >= 0 (0 = all hardware "
+                   "threads), got '" +
+                   std::string(threads) + "'";
+          return std::nullopt;
+        }
       } else if (const char* trace = value("--trace-out=")) {
         args.trace_out = trace;
       } else if (const char* counters = value("--counters-out=")) {
@@ -58,17 +130,39 @@ struct BenchArgs {
       } else if (a == "--profile") {
         args.profile = true;
       } else if (a == "--help" || a == "-h") {
-        std::printf(
-            "usage: %s [--reps=N] [--jobs=N (paper: 1000)] [--seed=N]\n"
-            "          [--trace-out=PATH] [--counters-out=PATH] [--profile]\n",
-            argv[0]);
-        std::exit(0);
+        *help = true;
+        return args;
       } else {
-        std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
-        std::exit(2);
+        *error = "unknown flag: " + a;
+        return std::nullopt;
       }
     }
     return args;
+  }
+
+  static void print_usage(const char* prog) {
+    std::printf(
+        "usage: %s [--reps=N] [--jobs=N (paper: 1000)] [--seed=N]\n"
+        "          [--threads=N (0 = all hardware threads)]\n"
+        "          [--trace-out=PATH] [--counters-out=PATH] [--profile]\n",
+        prog);
+  }
+
+  static BenchArgs parse(int argc, char** argv) {
+    std::string error;
+    bool help = false;
+    const std::optional<BenchArgs> args =
+        parse_or_error(argc, argv, &error, &help);
+    if (help) {
+      print_usage(argv[0]);
+      std::exit(0);
+    }
+    if (!args.has_value()) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      print_usage(argv[0]);
+      std::exit(2);
+    }
+    return *args;
   }
 };
 

@@ -1,8 +1,10 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cctype>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace cosched {
 namespace {
@@ -15,8 +17,12 @@ LogLevel initial_level() {
   return level;
 }
 
-LogLevel g_level = initial_level();
-Log::Sink g_sink;  // empty = default stderr sink
+// The level is an atomic and the sink is mutex-guarded: worker threads of a
+// parallel experiment shard (src/exec/) all funnel through this one logger,
+// and the lock also keeps concurrently emitted lines from interleaving.
+std::atomic<LogLevel> g_level = initial_level();
+std::mutex g_sink_mu;
+Log::Sink g_sink;  // empty = default stderr sink; guarded by g_sink_mu
 
 void default_sink(LogLevel level, const std::string& message) {
   std::cerr << "[" << Log::level_name(level) << "] " << message << "\n";
@@ -40,19 +46,28 @@ std::optional<LogLevel> parse_log_level(std::string_view name) {
   return std::nullopt;
 }
 
-LogLevel Log::level() { return g_level; }
-void Log::set_level(LogLevel level) { g_level = level; }
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+void Log::set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 void Log::init_from_env() {
   if (const char* env = std::getenv("COSCHED_LOG_LEVEL")) {
-    if (auto parsed = parse_log_level(env)) g_level = *parsed;
+    if (auto parsed = parse_log_level(env)) Log::set_level(*parsed);
   }
 }
-void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
-void Log::reset_sink() { g_sink = nullptr; }
+void Log::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = std::move(sink);
+}
+void Log::reset_sink() {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = nullptr;
+}
 
 void Log::write(LogLevel level, const std::string& message) {
-  if (level < g_level) return;
+  if (level < Log::level()) return;
+  std::lock_guard<std::mutex> lock(g_sink_mu);
   if (g_sink) {
     g_sink(level, message);
   } else {

@@ -1,9 +1,11 @@
 // Minimal leveled logger.
 //
 // The simulator is a library, so logging goes through one injectable sink.
-// Default sink writes to stderr; tests install a capturing sink. Level is a
-// process-wide atomic — deliberately simple, since the simulator itself is
-// single-threaded and logging is debug-only tooling.
+// Default sink writes to stderr; tests install a capturing sink. The level
+// is a process-wide atomic and the sink is mutex-guarded: a single
+// simulation is single-threaded, but the parallel experiment runner
+// (src/exec/) drives many simulations at once through this one logger, and
+// the lock keeps their lines from interleaving mid-message.
 #pragma once
 
 #include <functional>
@@ -20,7 +22,8 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 /// Returns nullopt for anything else.
 std::optional<LogLevel> parse_log_level(std::string_view name);
 
-/// Global log configuration. Not thread-safe by design (see header comment).
+/// Global log configuration. Safe to use from parallel experiment workers
+/// (see header comment).
 class Log {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;

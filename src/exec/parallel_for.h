@@ -1,0 +1,73 @@
+// Deterministic-result parallel index loop on top of ThreadPool.
+//
+//   ThreadPool pool(4);
+//   std::vector<RunMetrics> slots(n);
+//   parallel_for(&pool, n, [&](std::size_t i) { slots[i] = run(i); });
+//
+// Indices are handed out dynamically (an atomic cursor), so *which worker*
+// runs index i is scheduling-dependent — but each index runs exactly once
+// and the caller indexes results into pre-sized slots, so the observable
+// outcome is identical to the serial loop as long as the body only writes
+// state owned by its index. That slot discipline is the whole determinism
+// contract of the parallel experiment path (see tests/test_determinism.cpp).
+//
+// A null pool (or a single-worker pool, or n <= 1) degenerates to the plain
+// serial loop on the calling thread: same iteration order, no pool traffic.
+// The first exception thrown by any body is captured and rethrown on the
+// calling thread after every in-flight body has finished; later exceptions
+// are dropped.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+
+#include "exec/thread_pool.h"
+
+namespace cosched {
+
+template <typename Body>
+void parallel_for(ThreadPool* pool, std::size_t n, const Body& body) {
+  if (pool == nullptr || pool->size() <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::size_t live_tasks = 0;
+  } shared;
+
+  const std::size_t tasks = std::min(pool->size(), n);
+  shared.live_tasks = tasks;
+  for (std::size_t t = 0; t < tasks; ++t) {
+    pool->submit([&shared, &body, n] {
+      for (;;) {
+        const std::size_t i =
+            shared.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n || shared.failed.load(std::memory_order_relaxed)) break;
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(shared.mu);
+          if (!shared.error) shared.error = std::current_exception();
+          shared.failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      std::lock_guard<std::mutex> lock(shared.mu);
+      if (--shared.live_tasks == 0) shared.done_cv.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(shared.mu);
+  shared.done_cv.wait(lock, [&shared] { return shared.live_tasks == 0; });
+  if (shared.error) std::rethrow_exception(shared.error);
+}
+
+}  // namespace cosched

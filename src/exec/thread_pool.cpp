@@ -1,0 +1,58 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cosched {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  COSCHED_CHECK_MSG(threads >= 1, "ThreadPool needs at least one worker");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  COSCHED_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    COSCHED_CHECK_MSG(!stop_, "submit() on a stopped ThreadPool");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+std::size_t ThreadPool::resolve_threads(std::int32_t requested) {
+  if (requested == 0) {
+    return std::max(1u, std::thread::hardware_concurrency());
+  }
+  COSCHED_CHECK_MSG(requested >= 1, "thread count must be >= 0");
+  return static_cast<std::size_t>(requested);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace cosched

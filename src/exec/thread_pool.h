@@ -1,0 +1,56 @@
+// A fixed-size worker pool for sharding independent simulation runs.
+//
+// The experiment harness (src/sim/experiment.cpp) is embarrassingly
+// parallel: every (scheduler, repetition) pair owns its own forked RNG
+// stream, its own SimulationDriver, and its own result slot, so runs never
+// communicate. The pool therefore needs no work stealing, priorities, or
+// futures — just a queue of thunks, N workers, and a way to wait for a
+// batch (see parallel_for.h, which layers deterministic index dispatch and
+// exception propagation on top).
+//
+// Workers are started in the constructor and joined in the destructor;
+// submitting after shutdown() is a checked error. The pool itself never
+// touches simulation state, so a `threads == 1` experiment config can (and
+// does) bypass it entirely for a zero-overhead serial path.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cosched {
+
+class ThreadPool {
+ public:
+  /// Start `threads` workers (>= 1; use resolve_threads for user input).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one task. Tasks must not throw out of the pool — wrap bodies
+  /// that can throw (parallel_for does this for you).
+  void submit(std::function<void()> task);
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Map a user-facing thread-count request to a worker count:
+  /// 0 = all hardware threads, otherwise the request itself (>= 1).
+  [[nodiscard]] static std::size_t resolve_threads(std::int32_t requested);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cosched

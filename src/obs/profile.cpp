@@ -6,7 +6,7 @@
 
 namespace cosched {
 
-bool Profiler::enabled_ = false;
+std::atomic<bool> Profiler::enabled_{false};
 
 Profiler& Profiler::instance() {
   static Profiler profiler;
@@ -14,6 +14,7 @@ Profiler& Profiler::instance() {
 }
 
 void Profiler::add(const char* name, std::uint64_t ns) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [section_name, section] : sections_) {
     if (section_name == name) {
       ++section.calls;
@@ -25,11 +26,18 @@ void Profiler::add(const char* name, std::uint64_t ns) {
   sections_.emplace_back(name, Section{.calls = 1, .total_ns = ns, .max_ns = ns});
 }
 
-void Profiler::reset() { sections_.clear(); }
+void Profiler::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sections_.clear();
+}
 
 std::vector<std::pair<std::string, Profiler::Section>> Profiler::snapshot()
     const {
-  auto out = sections_;
+  std::vector<std::pair<std::string, Section>> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = sections_;
+  }
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     return a.second.total_ns > b.second.total_ns;
   });

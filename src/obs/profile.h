@@ -12,14 +12,18 @@
 // call counts and wall-clock totals with write_summary().
 //
 // The registry is process-global on purpose: hot paths live in leaf
-// libraries (matching, EPS filling) that know nothing about the driver, and
-// the simulator is single-threaded, so one global map is both reachable
-// from everywhere and race-free.
+// libraries (matching, EPS filling) that know nothing about the driver.
+// The enabled flag is atomic and the section map is mutex-guarded so the
+// parallel experiment runner's workers can all feed it; when profiling is
+// off (the default) ProfScope never takes the lock, so the cost in hot
+// code stays a single relaxed load.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -36,8 +40,12 @@ class Profiler {
 
   static Profiler& instance();
 
-  static void set_enabled(bool on) { enabled_ = on; }
-  [[nodiscard]] static bool enabled() { return enabled_; }
+  static void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
 
   void add(const char* name, std::uint64_t ns);
   void reset();
@@ -51,9 +59,10 @@ class Profiler {
  private:
   Profiler() = default;
 
-  static bool enabled_;
+  static std::atomic<bool> enabled_;
   // Linear scan over interned names: the simulator has ~10 instrumented
   // sections, and add() is only reached when profiling is on.
+  mutable std::mutex mu_;
   std::vector<std::pair<std::string, Section>> sections_;
 };
 

@@ -77,6 +77,61 @@ std::vector<PossibleSchedule> possible_reduce_schedules(
   return out;
 }
 
+std::int32_t mts_map_rack_guideline(DataSize input, double sir,
+                                    DataSize elephant_threshold) {
+  COSCHED_CHECK(elephant_threshold.in_bytes() > 0);
+  const double ratio = (input * std::max(sir, 0.0)) / elephant_threshold;
+  const auto r_map = static_cast<std::int32_t>(std::floor(std::sqrt(ratio)));
+  return std::max(r_map, 1);
+}
+
+std::vector<ExploredSchedule> explore_schedules(
+    const std::vector<PossibleSchedule>& schedules, std::int32_t num_racks,
+    AvailabilityOracle& availability) {
+  std::vector<ExploredSchedule> out;
+  for (const PossibleSchedule& ps : schedules) {
+    // ExploreSchedule (Algorithm 1): descending D, each d_i to the
+    // earliest-available unselected rack.
+    ExploredSchedule ex;
+    ex.d = ps.d;
+    std::sort(ex.d.begin(), ex.d.end(), std::greater<>());
+    ex.cct = ps.cct;
+
+    bool feasible = true;
+    for (std::int32_t di : ex.d) {
+      Duration best_t = Duration::infinity();
+      RackId best_rack = RackId::invalid();
+      for (std::int32_t r = 0; r < num_racks; ++r) {
+        const RackId rack{r};
+        if (ex.plan.count(rack) > 0) continue;  // selected racks are spent
+        const Duration t = availability.estimate_availability(rack, di);
+        if (t < best_t) {
+          best_t = t;
+          best_rack = rack;
+        }
+      }
+      if (!best_rack.valid() || !best_t.is_finite()) {
+        feasible = false;
+        break;
+      }
+      ex.plan[best_rack] = di;
+      ex.t_max = std::max(ex.t_max, best_t);
+    }
+    if (feasible) out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+std::optional<std::size_t> best_schedule_index(
+    const std::vector<ExploredSchedule>& explored) {
+  if (explored.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < explored.size(); ++i) {
+    if (explored[i].score_sec() < explored[best].score_sec()) best = i;
+  }
+  return best;
+}
+
 std::string CoScheduler::name() const {
   if (opts_.enable_mts && opts_.enable_reduce_planning) return "coscheduler";
   if (opts_.enable_mts) return "mts+ocas";
@@ -105,10 +160,10 @@ void CoScheduler::on_job_submitted(Job& job, SchedContext& ctx) {
   // MTS guideline: R_map = floor(sqrt(Input*SIR / T_e)), clamped so the
   // replication-many disjoint rack sets fit and so the job's own task
   // counts can populate the racks.
-  const double ratio = predicted_shuffle / ctx.topo.elephant_threshold;
-  auto r_map = static_cast<std::int32_t>(std::floor(std::sqrt(ratio)));
-  r_map = std::clamp(r_map, 1, std::max(1, ctx.topo.num_racks /
-                                               opts_.replication));
+  auto r_map = mts_map_rack_guideline(spec.input_size, predicted_sir,
+                                      ctx.topo.elephant_threshold);
+  r_map = std::min(r_map, std::max(1, ctx.topo.num_racks /
+                                          opts_.replication));
   r_map = std::min(r_map, spec.num_maps);
   r_map = std::min(r_map, std::max(spec.num_reduces, 1));
 
@@ -167,69 +222,27 @@ void CoScheduler::select_best_schedule(
     Job& job, const std::vector<PossibleSchedule>& schedules,
     const std::vector<RackId>& map_racks, SchedContext& ctx) {
   (void)map_racks;
-  double best_score = std::numeric_limits<double>::infinity();
-  std::map<RackId, std::int32_t> best_plan;
-  std::vector<std::int32_t> best_d;
-  Duration best_cct = Duration::zero();
-  Duration best_t_max = Duration::zero();
+  const std::vector<ExploredSchedule> explored =
+      explore_schedules(schedules, ctx.topo.num_racks, ctx.availability);
+  const std::optional<std::size_t> best_index = best_schedule_index(explored);
+  if (!best_index.has_value()) return;
+  ExploredSchedule best = explored[*best_index];
 
-  for (const PossibleSchedule& ps : schedules) {
-    // ExploreSchedule (Algorithm 1): descending D, each d_i to the
-    // earliest-available unselected rack.
-    std::vector<std::int32_t> d = ps.d;
-    std::sort(d.begin(), d.end(), std::greater<>());
-
-    std::map<RackId, std::int32_t> plan;
-    Duration t_max = Duration::zero();
-    bool feasible = true;
-    for (std::int32_t di : d) {
-      Duration best_t = Duration::infinity();
-      RackId best_rack = RackId::invalid();
-      for (std::int32_t r = 0; r < ctx.topo.num_racks; ++r) {
-        const RackId rack{r};
-        if (plan.count(rack) > 0) continue;  // selected racks are spent
-        const Duration t = ctx.availability.estimate_availability(rack, di);
-        if (t < best_t) {
-          best_t = t;
-          best_rack = rack;
-        }
-      }
-      if (!best_rack.valid() || !best_t.is_finite()) {
-        feasible = false;
-        break;
-      }
-      plan[best_rack] = di;
-      t_max = std::max(t_max, best_t);
-    }
-    if (!feasible) continue;
-
-    const double score = (ps.cct + t_max).sec();
-    if (score < best_score) {
-      best_score = score;
-      best_plan = std::move(plan);
-      best_d = std::move(d);
-      best_cct = ps.cct;
-      best_t_max = t_max;
-    }
+  if (ctx.obs != nullptr) {
+    PlacementDecision dec;
+    dec.at = ctx.now;
+    dec.job = job.id();
+    dec.r_map = job.r_map_guideline();
+    dec.r_red = static_cast<std::int32_t>(best.plan.size());
+    dec.d = best.d;
+    dec.plan.assign(best.plan.begin(), best.plan.end());
+    dec.planned_cct = best.cct;
+    dec.t_max = best.t_max;
+    dec.score_sec = best.score_sec();
+    dec.candidates = static_cast<std::int64_t>(schedules.size());
+    ctx.obs->decisions.record(std::move(dec));
   }
-
-  if (!best_plan.empty()) {
-    if (ctx.obs != nullptr) {
-      PlacementDecision dec;
-      dec.at = ctx.now;
-      dec.job = job.id();
-      dec.r_map = job.r_map_guideline();
-      dec.r_red = static_cast<std::int32_t>(best_plan.size());
-      dec.d = best_d;
-      dec.plan.assign(best_plan.begin(), best_plan.end());
-      dec.planned_cct = best_cct;
-      dec.t_max = best_t_max;
-      dec.score_sec = best_score;
-      dec.candidates = static_cast<std::int64_t>(schedules.size());
-      ctx.obs->decisions.record(std::move(dec));
-    }
-    job.set_reduce_plan(std::move(best_plan), best_cct);
-  }
+  job.set_reduce_plan(std::move(best.plan), best.cct);
 }
 
 namespace {

@@ -34,6 +34,8 @@
 // reduces), MTS+OCAS disables the reduce planning.
 #pragma once
 
+#include <map>
+#include <optional>
 #include <vector>
 
 #include "coflow/cct_bound.h"
@@ -54,6 +56,39 @@ struct PossibleSchedule {
     const std::vector<DataSize>& sm, std::int32_t num_reduces,
     DataSize elephant_threshold, Bandwidth ocs_rate, Duration reconfig_delay,
     std::int32_t max_racks);
+
+/// MTS's map-rack guideline (Section IV-C), before clamping to the cluster:
+/// R_map = floor(sqrt(Input * SIR / T_e)), at least 1. Monotone
+/// non-decreasing in Input (and in SIR) — a property the test suite checks.
+[[nodiscard]] std::int32_t mts_map_rack_guideline(DataSize input, double sir,
+                                                  DataSize elephant_threshold);
+
+/// One SBS exploration (Algorithm 1): a PSRT candidate's D greedily matched
+/// to the racks whose containers free earliest.
+struct ExploredSchedule {
+  /// Chosen reduce racks with their task counts (sums to the job's reduces).
+  std::map<RackId, std::int32_t> plan;
+  /// The candidate's distribution, sorted descending (assignment order).
+  std::vector<std::int32_t> d;
+  /// The candidate's CCT lower bound T(C).
+  Duration cct;
+  /// Worst container wait over the chosen racks.
+  Duration t_max;
+  /// SBS's objective: CCT + t_max (Section IV-E).
+  [[nodiscard]] double score_sec() const { return (cct + t_max).sec(); }
+};
+
+/// SBS's ExploreSchedule over every PSRT candidate: for each, assign the
+/// descending D to the earliest-available unselected racks. Candidates
+/// with no feasible assignment are dropped.
+[[nodiscard]] std::vector<ExploredSchedule> explore_schedules(
+    const std::vector<PossibleSchedule>& schedules, std::int32_t num_racks,
+    AvailabilityOracle& availability);
+
+/// Index of the minimum-score exploration; nullopt when `explored` is
+/// empty. Ties break toward the earliest candidate (enumeration order).
+[[nodiscard]] std::optional<std::size_t> best_schedule_index(
+    const std::vector<ExploredSchedule>& explored);
 
 class CoScheduler : public JobScheduler {
  public:

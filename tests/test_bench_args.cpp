@@ -1,0 +1,129 @@
+// BenchArgs::parse_or_error: the benches' flag parser must reject garbage
+// loudly instead of atoi-ing it to 0 (the bug this suite pins down).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace cosched::bench {
+namespace {
+
+std::optional<BenchArgs> parse(std::vector<std::string> flags,
+                               std::string* error = nullptr,
+                               bool* help = nullptr) {
+  std::vector<char*> argv;
+  std::string prog = "bench";
+  argv.push_back(prog.data());
+  for (std::string& f : flags) argv.push_back(f.data());
+  std::string local_error;
+  bool local_help = false;
+  return BenchArgs::parse_or_error(static_cast<int>(argv.size()), argv.data(),
+                                   error != nullptr ? error : &local_error,
+                                   help != nullptr ? help : &local_help);
+}
+
+TEST(BenchArgsParse, DefaultsWithNoFlags) {
+  const auto args = parse({});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_EQ(args->reps, 2);
+  EXPECT_EQ(args->jobs, 200);
+  EXPECT_EQ(args->seed, 42u);
+  EXPECT_EQ(args->threads, 1);
+  EXPECT_FALSE(args->profile);
+  EXPECT_FALSE(args->observing());
+}
+
+TEST(BenchArgsParse, ValidFlagsParse) {
+  const auto args = parse({"--reps=20", "--jobs=1000", "--seed=123456789",
+                           "--threads=8", "--trace-out=/tmp/t.json",
+                           "--counters-out=/tmp/c.csv", "--profile"});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_EQ(args->reps, 20);
+  EXPECT_EQ(args->jobs, 1000);
+  EXPECT_EQ(args->seed, 123456789u);
+  EXPECT_EQ(args->threads, 8);
+  EXPECT_EQ(args->trace_out, "/tmp/t.json");
+  EXPECT_EQ(args->counters_out, "/tmp/c.csv");
+  EXPECT_TRUE(args->profile);
+  EXPECT_TRUE(args->observing());
+}
+
+TEST(BenchArgsParse, ThreadsZeroMeansHardwareConcurrency) {
+  const auto args = parse({"--threads=0"});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_EQ(args->threads, 0);
+  EXPECT_EQ(args->parallel().threads, 0);
+}
+
+TEST(BenchArgsParse, RejectsNonNumericReps) {
+  std::string error;
+  EXPECT_FALSE(parse({"--reps=abc"}, &error).has_value());
+  EXPECT_NE(error.find("--reps"), std::string::npos);
+  EXPECT_NE(error.find("abc"), std::string::npos);
+}
+
+TEST(BenchArgsParse, RejectsNonPositiveReps) {
+  EXPECT_FALSE(parse({"--reps=0"}).has_value());
+  EXPECT_FALSE(parse({"--reps=-3"}).has_value());
+  EXPECT_FALSE(parse({"--reps="}).has_value());
+}
+
+TEST(BenchArgsParse, RejectsTrailingGarbage) {
+  EXPECT_FALSE(parse({"--reps=12x"}).has_value());
+  EXPECT_FALSE(parse({"--jobs=1e3"}).has_value());
+  EXPECT_FALSE(parse({"--seed=42 "}).has_value());
+}
+
+TEST(BenchArgsParse, RejectsNonNumericSeed) {
+  std::string error;
+  EXPECT_FALSE(parse({"--seed=abc"}, &error).has_value());
+  EXPECT_NE(error.find("--seed"), std::string::npos);
+  EXPECT_FALSE(parse({"--seed=-1"}).has_value());
+}
+
+TEST(BenchArgsParse, RejectsOverflow) {
+  EXPECT_FALSE(parse({"--reps=99999999999999999999"}).has_value());
+  EXPECT_FALSE(parse({"--seed=99999999999999999999999"}).has_value());
+}
+
+TEST(BenchArgsParse, RejectsNegativeThreads) {
+  EXPECT_FALSE(parse({"--threads=-1"}).has_value());
+  EXPECT_FALSE(parse({"--threads=two"}).has_value());
+}
+
+TEST(BenchArgsParse, RejectsUnknownFlag) {
+  std::string error;
+  EXPECT_FALSE(parse({"--bogus=1"}, &error).has_value());
+  EXPECT_NE(error.find("--bogus"), std::string::npos);
+}
+
+TEST(BenchArgsParse, HelpFlagSetsHelp) {
+  std::string error;
+  bool help = false;
+  const auto args = parse({"--help"}, &error, &help);
+  EXPECT_TRUE(help);
+  ASSERT_TRUE(args.has_value());
+}
+
+TEST(BenchArgsParse, SeedAcceptsFullU64Range) {
+  const auto args = parse({"--seed=18446744073709551615"});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_EQ(args->seed, 18446744073709551615ull);
+}
+
+TEST(ParseHelpers, ParseInt32Bounds) {
+  std::int32_t v = -1;
+  EXPECT_TRUE(parse_int32("5", 1, 10, &v));
+  EXPECT_EQ(v, 5);
+  EXPECT_FALSE(parse_int32("0", 1, 10, &v));
+  EXPECT_FALSE(parse_int32("11", 1, 10, &v));
+  EXPECT_FALSE(parse_int32("", 1, 10, &v));
+  EXPECT_FALSE(parse_int32(nullptr, 1, 10, &v));
+  EXPECT_FALSE(parse_int32("5.0", 1, 10, &v));
+}
+
+}  // namespace
+}  // namespace cosched::bench

@@ -1,0 +1,93 @@
+// Unit tests for the executor layer (src/exec/): the worker pool and the
+// deterministic-result parallel_for the experiment harness shards with.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/parallel_for.h"
+#include "exec/thread_pool.h"
+
+namespace cosched {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.size(), 3u);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&done] { done.fetch_add(1); });
+    }
+    // Destructor drains the queue and joins.
+  }
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, ResolveThreadsMapsZeroToHardwareConcurrency) {
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(7), 7u);
+}
+
+TEST(ParallelFor, EachIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 257;  // not a multiple of the worker count
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(&pool, kN, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, NullPoolFallsBackToSerialInOrder) {
+  std::vector<std::size_t> order;
+  parallel_for(nullptr, 5, [&order](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, SingleWorkerPoolRunsInline) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  parallel_for(&pool, 4, [&order](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(ParallelFor, ZeroAndOneIterationAreFine) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(&pool, 0, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(&pool, 1, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, PropagatesTheFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      parallel_for(&pool, 64,
+                   [&ran](std::size_t i) {
+                     ran.fetch_add(1);
+                     if (i == 10) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // The failing index ran; the pool is still usable afterwards.
+  EXPECT_GE(ran.load(), 1);
+  std::atomic<int> after{0};
+  parallel_for(&pool, 8, [&after](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ParallelFor, ManyMoreIndicesThanWorkers) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> sum{0};
+  parallel_for(&pool, 1000,
+               [&sum](std::size_t i) { sum.fetch_add(i + 1); });
+  EXPECT_EQ(sum.load(), 1000ull * 1001ull / 2);
+}
+
+}  // namespace
+}  // namespace cosched

@@ -1,0 +1,155 @@
+// Golden-file regression test (ctest -L determinism): a tiny fixed-seed
+// Figure-3 configuration (2 repetitions x 20 jobs, seed 42, the paper's
+// topology) whose per-scheduler mean makespan / JCT / CCT / OCS fraction
+// must match tests/golden/fig3_small.csv EXACTLY — tolerance 0. Values are
+// serialized with %.17g, which round-trips IEEE doubles losslessly, so any
+// change in simulation arithmetic, event ordering, RNG consumption, or
+// workload generation shows up here as a hard failure.
+//
+// Regenerating after an intentional behavior change:
+//
+//   COSCHED_REGEN_GOLDEN=1 ./build/tests/test_golden
+//
+// then commit the rewritten tests/golden/fig3_small.csv (and explain the
+// change in the PR). The golden path is baked in at compile time from the
+// source tree, so the one command works from any build directory.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/experiment.h"
+
+namespace cosched {
+namespace {
+
+#ifndef COSCHED_GOLDEN_DIR
+#error "COSCHED_GOLDEN_DIR must be defined by the build"
+#endif
+
+const char* kGoldenPath = COSCHED_GOLDEN_DIR "/fig3_small.csv";
+
+const std::vector<std::string> kSchedulers{"fair", "corral", "coscheduler"};
+
+/// The bench's paper_config at golden scale, so the golden run exercises
+/// the exact topology/workload path of bench_fig3_overall.
+ExperimentConfig golden_config() {
+  bench::BenchArgs args;
+  args.reps = 2;
+  args.jobs = 20;
+  args.seed = 42;
+  return bench::paper_config(args);
+}
+
+struct GoldenRow {
+  std::string scheduler;
+  double makespan_sec = 0.0;
+  double avg_jct_sec = 0.0;
+  double avg_cct_sec = 0.0;
+  double ocs_fraction = 0.0;
+};
+
+std::vector<GoldenRow> measure() {
+  const std::vector<AggregateMetrics> results =
+      compare_schedulers(golden_config(), kSchedulers);
+  std::vector<GoldenRow> rows;
+  for (const AggregateMetrics& m : results) {
+    GoldenRow row;
+    row.scheduler = m.scheduler;
+    row.makespan_sec = m.makespan_sec.mean();
+    row.avg_jct_sec = m.avg_jct_sec.mean();
+    row.avg_cct_sec = m.avg_cct_sec.mean();
+    row.ocs_fraction = m.ocs_fraction.mean();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string serialize(const std::vector<GoldenRow>& rows) {
+  std::string out = "scheduler,makespan_sec,avg_jct_sec,avg_cct_sec,"
+                    "ocs_fraction\n";
+  for (const GoldenRow& r : rows) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "%s,%.17g,%.17g,%.17g,%.17g\n",
+                  r.scheduler.c_str(), r.makespan_sec, r.avg_jct_sec,
+                  r.avg_cct_sec, r.ocs_fraction);
+    out += line;
+  }
+  return out;
+}
+
+std::vector<GoldenRow> parse_golden(std::istream& is) {
+  std::vector<GoldenRow> rows;
+  std::string line;
+  std::getline(is, line);  // header
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    GoldenRow row;
+    std::stringstream ss(line);
+    std::string field;
+    std::getline(ss, row.scheduler, ',');
+    std::getline(ss, field, ',');
+    row.makespan_sec = std::strtod(field.c_str(), nullptr);
+    std::getline(ss, field, ',');
+    row.avg_jct_sec = std::strtod(field.c_str(), nullptr);
+    std::getline(ss, field, ',');
+    row.avg_cct_sec = std::strtod(field.c_str(), nullptr);
+    std::getline(ss, field, ',');
+    row.ocs_fraction = std::strtod(field.c_str(), nullptr);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+TEST(GoldenFig3Small, MeansMatchCommittedGoldenExactly) {
+  const std::vector<GoldenRow> measured = measure();
+
+  if (std::getenv("COSCHED_REGEN_GOLDEN") != nullptr) {
+    std::ofstream os(kGoldenPath);
+    ASSERT_TRUE(os.good()) << "cannot write " << kGoldenPath;
+    os << serialize(measured);
+    GTEST_SKIP() << "regenerated " << kGoldenPath
+                 << "; rerun without COSCHED_REGEN_GOLDEN to verify";
+  }
+
+  std::ifstream is(kGoldenPath);
+  ASSERT_TRUE(is.good())
+      << "missing golden file " << kGoldenPath
+      << " — regenerate with COSCHED_REGEN_GOLDEN=1 ./tests/test_golden";
+  const std::vector<GoldenRow> golden = parse_golden(is);
+
+  ASSERT_EQ(golden.size(), measured.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    SCOPED_TRACE("scheduler " + golden[i].scheduler);
+    EXPECT_EQ(golden[i].scheduler, measured[i].scheduler);
+    // Tolerance 0: %.17g round-trips doubles exactly, so == is well-defined.
+    EXPECT_EQ(golden[i].makespan_sec, measured[i].makespan_sec);
+    EXPECT_EQ(golden[i].avg_jct_sec, measured[i].avg_jct_sec);
+    EXPECT_EQ(golden[i].avg_cct_sec, measured[i].avg_cct_sec);
+    EXPECT_EQ(golden[i].ocs_fraction, measured[i].ocs_fraction);
+  }
+}
+
+// The serializer itself must round-trip: a value written with %.17g and
+// parsed with strtod compares equal bit-for-bit.
+TEST(GoldenFig3Small, SerializationRoundTrips) {
+  const std::vector<GoldenRow> measured = measure();
+  std::stringstream ss(serialize(measured));
+  const std::vector<GoldenRow> reparsed = parse_golden(ss);
+  ASSERT_EQ(reparsed.size(), measured.size());
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    EXPECT_EQ(reparsed[i].scheduler, measured[i].scheduler);
+    EXPECT_EQ(reparsed[i].makespan_sec, measured[i].makespan_sec);
+    EXPECT_EQ(reparsed[i].avg_jct_sec, measured[i].avg_jct_sec);
+    EXPECT_EQ(reparsed[i].avg_cct_sec, measured[i].avg_cct_sec);
+    EXPECT_EQ(reparsed[i].ocs_fraction, measured[i].ocs_fraction);
+  }
+}
+
+}  // namespace
+}  // namespace cosched

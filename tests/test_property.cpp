@@ -1,10 +1,17 @@
 // Parameterized cross-scheduler property tests: for every scheduler and a
-// sweep of seeds, a full simulation must uphold the system's invariants.
+// sweep of seeds, a full simulation must uphold the system's invariants —
+// plus direct property tests of the paper's algorithms (PSRT, MTS, SBS).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 #include <tuple>
 
+#include "cluster/trem_estimator.h"
+#include "coflow/cct_bound.h"
+#include "common/rng.h"
+#include "sched/coscheduler.h"
 #include "sim/experiment.h"
 #include "workload/generator.h"
 
@@ -177,6 +184,263 @@ TEST(ReduceSemantics, CoSchedulerDefersFairOverlaps) {
   }
   EXPECT_TRUE(any_overlap)
       << "expected Fair to overlap at least one job's reduces with maps";
+}
+
+// ---- PSRT (Section IV-D): possible reduce schedules. --------------------
+
+constexpr auto kTe = DataSize::gigabytes(1.125);
+const Bandwidth kOcsRate = Bandwidth::gbps(100);
+constexpr auto kDelta = Duration::milliseconds(10);
+
+/// The exact abstract traffic matrix PSRT scores a distribution with:
+/// sorted map outputs to fresh reduce-rack ids, each reduce rack receiving
+/// its d_j / num_reduces share.
+Duration psrt_bound_for(const std::vector<DataSize>& sm,
+                        const std::vector<std::int32_t>& d,
+                        std::int32_t num_reduces) {
+  std::vector<DataSize> sorted = sm;
+  std::sort(sorted.begin(), sorted.end());
+  TrafficMatrix matrix;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    for (std::size_t j = 0; j < d.size(); ++j) {
+      const DataSize c = sorted[i] * (static_cast<double>(d[j]) /
+                                      static_cast<double>(num_reduces));
+      matrix.add(RackId{static_cast<std::int64_t>(i)},
+                 RackId{static_cast<std::int64_t>(1000000 + j)}, c);
+    }
+  }
+  return cct_lower_bound(matrix, kOcsRate, kDelta);
+}
+
+/// All ways to split `total` reduce tasks over `parts` racks, each >= 1.
+void enumerate_compositions(std::int32_t total, std::int32_t parts,
+                            std::vector<std::int32_t>& prefix,
+                            std::vector<std::vector<std::int32_t>>& out) {
+  if (parts == 1) {
+    if (total >= 1) {
+      prefix.push_back(total);
+      out.push_back(prefix);
+      prefix.pop_back();
+    }
+    return;
+  }
+  for (std::int32_t first = 1; first <= total - (parts - 1); ++first) {
+    prefix.push_back(first);
+    enumerate_compositions(total - first, parts - 1, prefix, out);
+    prefix.pop_back();
+  }
+}
+
+TEST(PsrtProperty, DistributionSumsToReduceCountAndClearsThreshold) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto num_racks =
+        static_cast<std::size_t>(rng.uniform_int(1, 4));
+    std::vector<DataSize> sm;
+    for (std::size_t i = 0; i < num_racks; ++i) {
+      sm.push_back(kTe * rng.uniform(1.0, 8.0));
+    }
+    const auto num_reduces = static_cast<std::int32_t>(rng.uniform_int(1, 12));
+    const auto schedules = possible_reduce_schedules(
+        sm, num_reduces, kTe, kOcsRate, kDelta, /*max_racks=*/10);
+
+    const DataSize sm_min = *std::min_element(sm.begin(), sm.end());
+    for (const PossibleSchedule& ps : schedules) {
+      std::int32_t sum = 0;
+      for (std::int32_t dj : ps.d) {
+        sum += dj;
+        // Aggregation constraint (Equation 7): even the smallest map rack's
+        // flow to every chosen reduce rack crosses the elephant threshold.
+        EXPECT_GE(sm_min * (static_cast<double>(dj) /
+                            static_cast<double>(num_reduces)) +
+                      DataSize::bytes(1),
+                  kTe)
+            << "trial " << trial;
+      }
+      EXPECT_EQ(sum, num_reduces) << "trial " << trial;
+      EXPECT_LE(static_cast<std::int64_t>(ps.d.size()),
+                sm_min.in_bytes() / kTe.in_bytes())
+          << "trial " << trial;
+      EXPECT_GT(ps.cct.sec(), 0.0);
+    }
+  }
+}
+
+TEST(PsrtProperty, ChosenDistributionMinimizesTheEnumeratedLowerBound) {
+  Rng rng(77);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto num_racks =
+        static_cast<std::size_t>(rng.uniform_int(1, 3));
+    std::vector<DataSize> sm;
+    for (std::size_t i = 0; i < num_racks; ++i) {
+      sm.push_back(kTe * rng.uniform(1.0, 6.0));
+    }
+    const auto num_reduces = static_cast<std::int32_t>(rng.uniform_int(1, 8));
+    const auto schedules = possible_reduce_schedules(
+        sm, num_reduces, kTe, kOcsRate, kDelta, /*max_racks=*/10);
+
+    for (const PossibleSchedule& ps : schedules) {
+      const auto r_red = static_cast<std::int32_t>(ps.d.size());
+      // PSRT's greedy balance must beat (or tie) EVERY way of splitting the
+      // job's reduces over r_red racks, not just threshold-feasible ones.
+      std::vector<std::vector<std::int32_t>> all;
+      std::vector<std::int32_t> prefix;
+      enumerate_compositions(num_reduces, r_red, prefix, all);
+      ASSERT_FALSE(all.empty());
+      for (const auto& d : all) {
+        EXPECT_LE(ps.cct.sec(),
+                  psrt_bound_for(sm, d, num_reduces).sec() + 1e-9)
+            << "trial " << trial << " r_red " << r_red;
+      }
+      // And its own bound is reproduced by the same matrix construction.
+      EXPECT_NEAR(ps.cct.sec(), psrt_bound_for(sm, ps.d, num_reduces).sec(),
+                  1e-12);
+    }
+  }
+}
+
+// ---- MTS (Section IV-C): the R_map guideline. ---------------------------
+
+TEST(MtsProperty, GuidelineIsMonotoneInInputSize) {
+  const double sirs[] = {0.3, 1.0, 2.5};
+  for (double sir : sirs) {
+    std::int32_t prev = 0;
+    for (double gb = 0.5; gb <= 4000.0; gb *= 1.17) {
+      const std::int32_t g =
+          mts_map_rack_guideline(DataSize::gigabytes(gb), sir, kTe);
+      EXPECT_GE(g, 1);
+      EXPECT_GE(g, prev) << "guideline shrank at input " << gb
+                         << " GB (sir " << sir << ")";
+      prev = g;
+    }
+  }
+}
+
+TEST(MtsProperty, GuidelineIsMonotoneInSir) {
+  std::int32_t prev = 0;
+  for (double sir = 0.05; sir <= 8.0; sir *= 1.31) {
+    const std::int32_t g =
+        mts_map_rack_guideline(DataSize::gigabytes(300), sir, kTe);
+    EXPECT_GE(g, prev) << "guideline shrank at sir " << sir;
+    prev = g;
+  }
+}
+
+TEST(MtsProperty, GuidelineBracketsSqrtOfShuffleOverThreshold) {
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const DataSize input = DataSize::gigabytes(rng.uniform(1.2, 3000.0));
+    const double sir = rng.uniform(0.1, 3.0);
+    const std::int32_t g = mts_map_rack_guideline(input, sir, kTe);
+    const double ratio = (input * sir) / kTe;  // as the implementation
+    if (ratio >= 1.0) {
+      // floor(sqrt(ratio)): g <= sqrt(ratio) < g+1.
+      EXPECT_LE(static_cast<double>(g) * g, ratio + 1e-9);
+      EXPECT_GT((static_cast<double>(g) + 1) * (g + 1), ratio - 1e-9);
+    } else {
+      EXPECT_EQ(g, 1);  // clamped floor
+    }
+  }
+}
+
+// ---- SBS (Section IV-E, Algorithm 1): schedule exploration. -------------
+
+/// Deterministic scripted oracle: rack r frees its containers after
+/// base[r] seconds plus a per-container surcharge.
+class ScriptedAvailability : public AvailabilityOracle {
+ public:
+  ScriptedAvailability(std::vector<double> base_sec, double per_container)
+      : base_sec_(std::move(base_sec)), per_container_(per_container) {}
+
+  Duration estimate_availability(RackId rack, std::int64_t count) override {
+    const auto r = static_cast<std::size_t>(rack.value());
+    if (r >= base_sec_.size()) return Duration::infinity();
+    return Duration::seconds(base_sec_[r] +
+                             per_container_ * static_cast<double>(count));
+  }
+
+ private:
+  std::vector<double> base_sec_;
+  double per_container_;
+};
+
+TEST(SbsProperty, BestScheduleMinimizesCctPlusTmax) {
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<DataSize> sm;
+    const auto map_racks = static_cast<std::size_t>(rng.uniform_int(1, 3));
+    for (std::size_t i = 0; i < map_racks; ++i) {
+      sm.push_back(kTe * rng.uniform(1.0, 8.0));
+    }
+    const auto num_reduces =
+        static_cast<std::int32_t>(rng.uniform_int(1, 10));
+    const std::int32_t num_racks = 8;
+    const auto schedules = possible_reduce_schedules(
+        sm, num_reduces, kTe, kOcsRate, kDelta, num_racks);
+    if (schedules.empty()) continue;
+
+    std::vector<double> base;
+    for (std::int32_t r = 0; r < num_racks; ++r) {
+      base.push_back(rng.uniform(0.0, 120.0));
+    }
+    ScriptedAvailability oracle(base, /*per_container=*/3.0);
+
+    const std::vector<ExploredSchedule> explored =
+        explore_schedules(schedules, num_racks, oracle);
+    ASSERT_EQ(explored.size(), schedules.size());  // all feasible here
+    const auto best = best_schedule_index(explored);
+    ASSERT_TRUE(best.has_value());
+
+    for (std::size_t i = 0; i < explored.size(); ++i) {
+      const ExploredSchedule& ex = explored[i];
+      // The chosen schedule's objective is minimal over every exploration.
+      EXPECT_LE(explored[*best].score_sec(), ex.score_sec())
+          << "trial " << trial << " candidate " << i;
+      // Structural sanity of each exploration.
+      EXPECT_EQ(ex.plan.size(), ex.d.size());
+      std::int32_t sum = 0;
+      Duration worst = Duration::zero();
+      for (const auto& [rack, count] : ex.plan) {
+        EXPECT_GE(rack.value(), 0);
+        EXPECT_LT(rack.value(), num_racks);
+        sum += count;
+        worst = std::max(worst,
+                         oracle.estimate_availability(rack, count));
+      }
+      EXPECT_EQ(sum, num_reduces);
+      // t_max is the worst wait over the racks actually chosen.
+      EXPECT_NEAR(ex.t_max.sec(), worst.sec(), 1e-12);
+      EXPECT_TRUE(std::is_sorted(ex.d.rbegin(), ex.d.rend()));
+    }
+  }
+}
+
+TEST(SbsProperty, InfeasibleWhenNoRackEverFrees) {
+  const std::vector<DataSize> sm{kTe * 4.0};
+  const auto schedules =
+      possible_reduce_schedules(sm, 4, kTe, kOcsRate, kDelta, 8);
+  ASSERT_FALSE(schedules.empty());
+  ScriptedAvailability oracle({}, 0.0);  // every rack: infinity
+  const auto explored = explore_schedules(schedules, 8, oracle);
+  EXPECT_TRUE(explored.empty());
+  EXPECT_FALSE(best_schedule_index(explored).has_value());
+}
+
+TEST(SbsProperty, ExplorationIsDeterministic) {
+  const std::vector<DataSize> sm{kTe * 5.0, kTe * 2.5};
+  const auto schedules =
+      possible_reduce_schedules(sm, 6, kTe, kOcsRate, kDelta, 8);
+  ASSERT_FALSE(schedules.empty());
+  ScriptedAvailability oracle({5, 1, 9, 2, 8, 3, 7, 4}, 2.0);
+  const auto a = explore_schedules(schedules, 8, oracle);
+  const auto b = explore_schedules(schedules, 8, oracle);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].plan, b[i].plan);
+    EXPECT_EQ(a[i].d, b[i].d);
+    EXPECT_EQ(a[i].cct.sec(), b[i].cct.sec());
+    EXPECT_EQ(a[i].t_max.sec(), b[i].t_max.sec());
+  }
 }
 
 }  // namespace
