@@ -17,34 +17,115 @@ HybridTopology topo60() {
   return t;  // paper defaults: 60 racks
 }
 
-void BM_EpsProgressiveFilling(benchmark::State& state) {
-  const auto num_flows = static_cast<std::size_t>(state.range(0));
+// Shared setup: `num_flows` concurrent EPS flows spread over the 60-rack
+// paper topology, large enough that none of them drains during the bench.
+struct ChurnFixture {
   Simulator sim;
-  EpsFabric eps(sim, topo60());
-  Rng rng(1);
+  EpsFabric eps;
+  Rng rng{1};
   IdAllocator<FlowId> ids;
   std::vector<std::unique_ptr<Flow>> flows;
-  for (std::size_t i = 0; i < num_flows; ++i) {
-    const auto src = rng.uniform_int(0, 59);
-    auto dst = rng.uniform_int(0, 59);
-    if (dst == src) dst = (dst + 1) % 60;
-    flows.push_back(std::make_unique<Flow>(ids.next(), CoflowId{0}, JobId{0},
-                                           RackId{src}, RackId{dst},
-                                           DataSize::gigabytes(100)));
-    flows.back()->set_path(FlowPath::kEps);
-    eps.start_flow(*flows.back(), nullptr);
+
+  explicit ChurnFixture(
+      std::size_t num_flows,
+      EpsFabric::RateEngine engine = EpsFabric::RateEngine::kGrouped)
+      : eps(sim, topo60()) {
+    eps.set_rate_engine(engine);
+    for (std::size_t i = 0; i < num_flows; ++i) {
+      const auto src = rng.uniform_int(0, 59);
+      auto dst = rng.uniform_int(0, 59);
+      if (dst == src) dst = (dst + 1) % 60;
+      flows.push_back(std::make_unique<Flow>(ids.next(), CoflowId{0}, JobId{0},
+                                             RackId{src}, RackId{dst},
+                                             DataSize::gigabytes(100)));
+      flows.back()->set_path(FlowPath::kEps);
+      eps.start_flow(*flows.back(), nullptr);
+    }
+    sim.run_until(sim.now());  // initial replan
   }
-  sim.run_until(SimTime::zero());  // initial replan
+
+  /// Nudge one flow's demand and advance past the coalescing window so the
+  /// deferred recompute_and_replan actually fires (one full replan per call).
+  void one_replan(std::size_t idx) {
+    flows[idx]->add_demand(DataSize::bytes(1));
+    eps.demand_added(*flows[idx]);
+    sim.run_until(sim.now() + Duration::milliseconds(100));
+  }
+};
+
+void BM_EpsProgressiveFilling(benchmark::State& state) {
+  ChurnFixture fx(static_cast<std::size_t>(state.range(0)));
+  const std::int64_t before = fx.eps.replans();
   for (auto _ : state) {
-    // Force a fresh settle + recompute by nudging demand.
-    flows[0]->add_demand(DataSize::bytes(1));
-    eps.demand_added(*flows[0]);
-    sim.run_until(sim.now());  // process the coalesced replan event
-    benchmark::DoNotOptimize(eps.current_rates().size());
+    fx.one_replan(0);
+    benchmark::DoNotOptimize(fx.eps.active_flows());
   }
+  COSCHED_CHECK(fx.eps.replans() - before ==
+                static_cast<std::int64_t>(state.iterations()));
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_EpsProgressiveFilling)->Range(8, 8192)->Complexity();
+
+// The acceptance scenario: >= 5k concurrent flows, 60 racks, every
+// iteration is exactly one settle-all + progressive-filling + replan pass.
+void BM_EpsHighChurnReplan(benchmark::State& state) {
+  ChurnFixture fx(static_cast<std::size_t>(state.range(0)));
+  std::size_t idx = 0;
+  for (auto _ : state) {
+    fx.one_replan(idx);
+    idx = (idx + 1) % fx.flows.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EpsHighChurnReplan)
+    ->Arg(5000)
+    ->Arg(8192)
+    ->Unit(benchmark::kMillisecond);
+
+// Same scenario on the retained per-flow reference engine: the in-binary
+// before/after pair for the CI speedup guard (immune to runner speed).
+void BM_EpsHighChurnReplanReference(benchmark::State& state) {
+  ChurnFixture fx(static_cast<std::size_t>(state.range(0)),
+                  EpsFabric::RateEngine::kReference);
+  std::size_t idx = 0;
+  for (auto _ : state) {
+    fx.one_replan(idx);
+    idx = (idx + 1) % fx.flows.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EpsHighChurnReplanReference)
+    ->Arg(5000)
+    ->Arg(8192)
+    ->Unit(benchmark::kMillisecond);
+
+// bytes_in_flight() is sampled by the obs gauge every counter tick.
+void BM_EpsBytesInFlight(benchmark::State& state) {
+  ChurnFixture fx(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.eps.bytes_in_flight().in_bytes());
+  }
+}
+BENCHMARK(BM_EpsBytesInFlight)->Arg(5000);
+
+// Start/complete churn: zero-byte flows enter and immediately drain, so
+// this measures per-flow fabric bookkeeping plus event-pool turnover.
+void BM_EpsFlowStartCompleteChurn(benchmark::State& state) {
+  Simulator sim;
+  EpsFabric eps(sim, topo60());
+  IdAllocator<FlowId> ids;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    Flow f(ids.next(), CoflowId{0}, JobId{0}, RackId{i % 60},
+           RackId{(i + 11) % 60}, DataSize::zero());
+    f.set_path(FlowPath::kEps);
+    eps.start_flow(f, nullptr);
+    sim.run_until(sim.now());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EpsFlowStartCompleteChurn);
 
 void BM_OcsCircuitChurn(benchmark::State& state) {
   Simulator sim;

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
 
 #include "common/log.h"
 #include "obs/profile.h"
@@ -22,11 +21,21 @@ constexpr double kResidualBits = 1e-3;
 // constant-factor win when thousands of flows churn.
 constexpr Duration kReplanInterval = Duration::milliseconds(100);
 
+// Relative tolerance for deciding that a link is saturated at the current
+// fill level. Shared by both rate engines so they freeze identical sets.
+constexpr double kTightTol = 1e-12;
+
 }  // namespace
 
 EpsFabric::EpsFabric(Simulator& sim, const HybridTopology& topo)
     : sim_(sim), topo_(topo) {
   topo_.validate();
+  const auto racks = static_cast<std::size_t>(topo_.num_racks);
+  group_of_pair_.assign(racks * racks, -1);
+  up_count_.assign(racks, 0);
+  down_count_.assign(racks, 0);
+  link_epoch_.assign(2 * racks, 0);
+  link_groups_.resize(2 * racks);
 }
 
 void EpsFabric::start_flow(Flow& flow, CompletionCallback on_complete) {
@@ -35,8 +44,12 @@ void EpsFabric::start_flow(Flow& flow, CompletionCallback on_complete) {
                 flow.path() == FlowPath::kLocal);
   flow.mark_started(sim_.now());
   flow.set_rate(Bandwidth::zero());
-  active_.emplace(flow.id(),
-                  ActiveFlow{&flow, std::move(on_complete), sim_.now()});
+  const auto [it, inserted] = active_.emplace(
+      flow.id(), ActiveFlow{&flow, std::move(on_complete), sim_.now(),
+                            flow.remaining_bits()});
+  COSCHED_CHECK_MSG(inserted, "flow " << flow.id() << " already active");
+  in_flight_bits_ += flow.remaining_bits();
+  if (flow.path() == FlowPath::kEps) group_add(flow);
   if (flow.remaining_bits() <= kResidualBits) {
     // Zero-byte flow: complete immediately (still asynchronously, so the
     // caller's state machine sees a uniform event ordering).
@@ -51,7 +64,11 @@ void EpsFabric::start_flow(Flow& flow, CompletionCallback on_complete) {
 
 void EpsFabric::demand_added(Flow& flow) {
   auto it = active_.find(flow.id());
-  if (it != active_.end()) settle_flow(it->second);
+  if (it != active_.end()) {
+    settle_flow(it->second);
+    in_flight_bits_ += flow.remaining_bits() - it->second.tracked_bits;
+    it->second.tracked_bits = flow.remaining_bits();
+  }
   request_replan();
 }
 
@@ -70,12 +87,12 @@ void EpsFabric::settle_flow(ActiveFlow& af) {
   af.last_settle = sim_.now();
   if (elapsed <= Duration::zero()) return;
   const double moved_bits = af.flow->settle(elapsed);
-  const auto moved =
-      DataSize::bytes(static_cast<std::int64_t>(moved_bits / 8.0));
+  af.tracked_bits -= moved_bits;
+  in_flight_bits_ -= moved_bits;
   if (af.flow->path() == FlowPath::kLocal) {
-    local_bytes_ += moved;
+    local_bits_ += moved_bits;
   } else {
-    eps_bytes_ += moved;
+    eps_bits_ += moved_bits;
   }
 }
 
@@ -85,7 +102,132 @@ void EpsFabric::recompute_and_replan() {
   last_replan_ = sim_.now();
   // Settle every flow at its current (old) rate before rates change.
   for (auto& [id, af] : active_) settle_flow(af);
+  if (engine_ == RateEngine::kGrouped) {
+    fill_rates_grouped();
+    replan_completion_events(/*assign_group_rates=*/true);
+  } else {
+    fill_rates_reference();
+    replan_completion_events(/*assign_group_rates=*/false);
+  }
+}
 
+void EpsFabric::fill_rates_grouped() {
+  COSCHED_PROF_SCOPE("eps.fill_rates");
+  const double link_cap = topo_.eps_rack_link().in_bits_per_sec();
+  const auto racks = static_cast<std::size_t>(topo_.num_racks);
+  const auto nlinks = static_cast<std::int32_t>(racks);
+
+  up_cap_.assign(racks, link_cap);
+  down_cap_.assign(racks, link_cap);
+  up_load_ = up_count_;
+  down_load_ = down_count_;
+  std::fill(link_epoch_.begin(), link_epoch_.end(), 0U);
+  for (auto& lg : link_groups_) lg.clear();
+  link_heap_.clear();
+
+  for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+    FlowGroup& g = groups_[gi];
+    g.frozen = false;
+    g.rate = 0.0;
+    link_groups_[static_cast<std::size_t>(g.src)].push_back(
+        static_cast<std::int32_t>(gi));
+    link_groups_[racks + static_cast<std::size_t>(g.dst)].push_back(
+        static_cast<std::int32_t>(gi));
+  }
+
+  // Min-heap on (ratio, link): the top is the most constrained link; the
+  // link index breaks exact ties deterministically.
+  const auto fills_later = [](const LinkEntry& a, const LinkEntry& b) {
+    if (a.ratio != b.ratio) return a.ratio > b.ratio;
+    return a.link > b.link;
+  };
+  const auto push_link = [&](std::int32_t link, double cap,
+                             std::int32_t load) {
+    link_heap_.push_back(LinkEntry{
+        cap / load, link_epoch_[static_cast<std::size_t>(link)], link});
+    std::push_heap(link_heap_.begin(), link_heap_.end(), fills_later);
+  };
+  for (std::size_t r = 0; r < racks; ++r) {
+    if (up_load_[r] > 0) {
+      push_link(static_cast<std::int32_t>(r), up_cap_[r], up_load_[r]);
+    }
+    if (down_load_[r] > 0) {
+      push_link(nlinks + static_cast<std::int32_t>(r), down_cap_[r],
+                down_load_[r]);
+    }
+  }
+
+  std::size_t remaining = groups_.size();
+  while (remaining > 0) {
+    // Pop entries until the top is live: that link is the most constrained.
+    LinkEntry top{};
+    for (;;) {
+      COSCHED_CHECK_MSG(!link_heap_.empty(),
+                        "progressive filling made no progress");
+      top = link_heap_.front();
+      std::pop_heap(link_heap_.begin(), link_heap_.end(), fills_later);
+      link_heap_.pop_back();
+      if (top.epoch == link_epoch_[static_cast<std::size_t>(top.link)]) break;
+    }
+    const double best_share = top.ratio;
+    const double threshold = best_share * (1.0 + kTightTol);
+
+    // Gather every link saturated at this share. The reference freezes a
+    // flow when either of its endpoint links is within tolerance of
+    // best_share, so one round may drain several links at once.
+    tight_links_.clear();
+    tight_links_.push_back(top.link);
+    while (!link_heap_.empty()) {
+      const LinkEntry next = link_heap_.front();
+      if (next.epoch != link_epoch_[static_cast<std::size_t>(next.link)]) {
+        std::pop_heap(link_heap_.begin(), link_heap_.end(), fills_later);
+        link_heap_.pop_back();
+        continue;
+      }
+      if (next.ratio > threshold) break;
+      tight_links_.push_back(next.link);
+      std::pop_heap(link_heap_.begin(), link_heap_.end(), fills_later);
+      link_heap_.pop_back();
+    }
+
+    for (const std::int32_t link : tight_links_) {
+      auto& members = link_groups_[static_cast<std::size_t>(link)];
+      for (const std::int32_t gi : members) {
+        FlowGroup& g = groups_[static_cast<std::size_t>(gi)];
+        if (g.frozen) continue;
+        g.frozen = true;
+        g.rate = best_share;
+        --remaining;
+        const auto s = static_cast<std::size_t>(g.src);
+        const auto d = static_cast<std::size_t>(g.dst);
+        // Drain residual capacity exactly as the per-flow reference does —
+        // one subtract-then-clamp per member flow — so both engines see
+        // bit-identical link capacities in every later round.
+        for (std::int32_t k = 0; k < g.count; ++k) {
+          up_cap_[s] -= best_share;
+          down_cap_[d] -= best_share;
+          up_cap_[s] = std::max(up_cap_[s], 0.0);
+          down_cap_[d] = std::max(down_cap_[d], 0.0);
+        }
+        up_load_[s] -= g.count;
+        down_load_[d] -= g.count;
+        ++link_epoch_[s];
+        ++link_epoch_[racks + d];
+        if (up_load_[s] > 0) {
+          push_link(static_cast<std::int32_t>(s), up_cap_[s], up_load_[s]);
+        }
+        if (down_load_[d] > 0) {
+          push_link(nlinks + static_cast<std::int32_t>(d), down_cap_[d],
+                    down_load_[d]);
+        }
+      }
+      members.clear();
+    }
+  }
+}
+
+void EpsFabric::fill_rates_reference() {
+  COSCHED_PROF_SCOPE("eps.fill_rates");
   // --- Progressive filling over rack uplinks and downlinks. -------------
   // Local flows are not constrained by the fabric; they run at NIC speed.
   const double link_cap = topo_.eps_rack_link().in_bits_per_sec();
@@ -134,9 +276,9 @@ void EpsFabric::recompute_and_replan() {
       const auto d =
           static_cast<std::size_t>(eps_flows[i]->flow->dst().value());
       const bool up_tight =
-          up_cap[s] / up_load[s] <= best_share * (1.0 + 1e-12);
+          up_cap[s] / up_load[s] <= best_share * (1.0 + kTightTol);
       const bool down_tight =
-          down_cap[d] / down_load[d] <= best_share * (1.0 + 1e-12);
+          down_cap[d] / down_load[d] <= best_share * (1.0 + kTightTol);
       if (!up_tight && !down_tight) continue;
       eps_flows[i]->flow->set_rate(Bandwidth::bits_per_sec(best_share));
       frozen[i] = true;
@@ -151,13 +293,24 @@ void EpsFabric::recompute_and_replan() {
     }
     COSCHED_CHECK_MSG(froze_any, "progressive filling made no progress");
   }
+}
 
-  // --- Re-plan completion events. ----------------------------------------
+void EpsFabric::replan_completion_events(bool assign_group_rates) {
   // Hysteresis: leave a pending event in place when the new ETA moved by
   // less than 0.1% — on_completion_event verifies actual drain and
   // reschedules if the flow is not quite done, so this is safe and avoids
   // O(flows) heap churn on every rate perturbation.
   for (auto& [fid, af] : active_) {
+    if (assign_group_rates) {
+      if (af.flow->path() == FlowPath::kLocal) {
+        af.flow->set_rate(topo_.server_nic);
+      } else {
+        const std::int32_t gi = group_of_pair_[pair_index(*af.flow)];
+        COSCHED_CHECK(gi >= 0);
+        af.flow->set_rate(Bandwidth::bits_per_sec(
+            groups_[static_cast<std::size_t>(gi)].rate));
+      }
+    }
     const double rate = af.flow->rate().in_bits_per_sec();
     if (rate <= 0.0) {
       // A zero-byte flow awaiting its immediate-completion event.
@@ -204,16 +357,65 @@ void EpsFabric::on_completion_event(FlowId id) {
   }
   flow.mark_completed(sim_.now());
   flow.completion_event().cancel();
+  // Drop the settled residue from the in-flight accumulator (it is below
+  // kResidualBits and was never accounted as transferred).
+  in_flight_bits_ -= it->second.tracked_bits;
+  if (flow.path() == FlowPath::kEps) group_remove(flow);
   CompletionCallback cb = std::move(it->second.on_complete);
   active_.erase(it);
   if (!active_.empty()) request_replan();
   if (cb) cb(flow);
 }
 
+void EpsFabric::group_add(const Flow& flow) {
+  const std::size_t pair = pair_index(flow);
+  std::int32_t gi = group_of_pair_[pair];
+  if (gi < 0) {
+    gi = static_cast<std::int32_t>(groups_.size());
+    groups_.push_back(
+        FlowGroup{static_cast<std::int32_t>(flow.src().value()),
+                  static_cast<std::int32_t>(flow.dst().value()), 0, 0.0,
+                  false});
+    group_of_pair_[pair] = gi;
+  }
+  ++groups_[static_cast<std::size_t>(gi)].count;
+  ++up_count_[static_cast<std::size_t>(flow.src().value())];
+  ++down_count_[static_cast<std::size_t>(flow.dst().value())];
+}
+
+void EpsFabric::group_remove(const Flow& flow) {
+  const std::size_t pair = pair_index(flow);
+  const std::int32_t gi = group_of_pair_[pair];
+  COSCHED_CHECK_MSG(gi >= 0, "flow " << flow.id() << " has no group");
+  FlowGroup& g = groups_[static_cast<std::size_t>(gi)];
+  --g.count;
+  --up_count_[static_cast<std::size_t>(g.src)];
+  --down_count_[static_cast<std::size_t>(g.dst)];
+  COSCHED_CHECK(g.count >= 0);
+  if (g.count > 0) return;
+  // Swap-erase the empty group and patch the moved group's pair index.
+  group_of_pair_[pair] = -1;
+  const auto last = static_cast<std::int32_t>(groups_.size()) - 1;
+  if (gi != last) {
+    g = groups_[static_cast<std::size_t>(last)];
+    const auto racks = static_cast<std::size_t>(topo_.num_racks);
+    group_of_pair_[static_cast<std::size_t>(g.src) * racks +
+                   static_cast<std::size_t>(g.dst)] = gi;
+  }
+  groups_.pop_back();
+}
+
+std::size_t EpsFabric::pair_index(const Flow& flow) const {
+  const auto racks = static_cast<std::size_t>(topo_.num_racks);
+  const auto s = static_cast<std::size_t>(flow.src().value());
+  const auto d = static_cast<std::size_t>(flow.dst().value());
+  COSCHED_CHECK(s < racks && d < racks);
+  return s * racks + d;
+}
+
 DataSize EpsFabric::bytes_in_flight() const {
-  double bits = 0.0;
-  for (const auto& [id, af] : active_) bits += af.flow->remaining_bits();
-  return DataSize::bytes(static_cast<std::int64_t>(bits / 8.0));
+  return DataSize::bytes(
+      static_cast<std::int64_t>(std::max(in_flight_bits_, 0.0) / 8.0));
 }
 
 std::vector<std::pair<FlowId, Bandwidth>> EpsFabric::current_rates() const {

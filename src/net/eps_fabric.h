@@ -7,11 +7,24 @@
 // the flows crossing it at the fair share, and continue with residual
 // capacities.
 //
+// The production fast path exploits a structural fact of this two-level
+// topology: a flow's max-min share depends only on its (src, dst) rack
+// pair, because all flows of one pair cross exactly the same two links and
+// therefore freeze in the same filling round at the same share. The fabric
+// maintains flow *groups* keyed by rack pair incrementally (on flow start
+// and completion, together with per-rack up/down flow counts) and
+// water-fills over groups, locating each round's most constrained link
+// with a lazy min-heap over the 2*racks rack links instead of rescanning
+// every link and every flow per round. The retained per-flow
+// implementation (RateEngine::kReference) computes the same rates bit for
+// bit; the determinism test suite enforces that equivalence.
+//
 // Rates are piecewise constant between network events. Every mutation
 // (flow added, demand added, flow finished) settles in-flight bytes, then
 // recomputes all rates and re-plans each flow's completion event.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <unordered_map>
 #include <vector>
@@ -26,6 +39,12 @@ class EpsFabric {
  public:
   using CompletionCallback = std::function<void(Flow&)>;
 
+  /// Which progressive-filling implementation recomputes rates. kGrouped is
+  /// the production fast path (water-filling over (src, dst) rack-pair
+  /// groups); kReference is the retained per-flow implementation used by
+  /// the equivalence regression tests and the before/after benchmarks.
+  enum class RateEngine { kGrouped, kReference };
+
   EpsFabric(Simulator& sim, const HybridTopology& topo);
 
   /// Begin transferring `flow` over the EPS (or the local rack path when
@@ -38,20 +57,31 @@ class EpsFabric {
   /// Current number of in-flight flows (EPS + local).
   [[nodiscard]] std::size_t active_flows() const { return active_.size(); }
 
+  /// Active (src, dst) rack pairs with at least one in-flight EPS flow.
+  [[nodiscard]] std::size_t active_groups() const { return groups_.size(); }
+
   /// Total bytes drained through the cross-rack EPS links so far.
-  [[nodiscard]] DataSize eps_bytes_transferred() const { return eps_bytes_; }
+  /// Accumulated in bits and converted once here, so frequent settles do
+  /// not truncate away fractional bytes.
+  [[nodiscard]] DataSize eps_bytes_transferred() const {
+    return DataSize::bytes(static_cast<std::int64_t>(eps_bits_ / 8.0));
+  }
 
   /// Total bytes drained through intra-rack (local) paths so far.
   [[nodiscard]] DataSize local_bytes_transferred() const {
-    return local_bytes_;
+    return DataSize::bytes(static_cast<std::int64_t>(local_bits_ / 8.0));
   }
 
-  /// Bytes still to drain across all active flows (settled view lags the
-  /// fluid model by at most one replan interval).
+  /// Bytes still to drain across all active flows, O(1) via an
+  /// incrementally maintained accumulator (the settled view lags the fluid
+  /// model by at most one replan interval).
   [[nodiscard]] DataSize bytes_in_flight() const;
 
   /// Progressive-filling passes executed so far (diagnostics).
   [[nodiscard]] std::int64_t replans() const { return replans_; }
+
+  void set_rate_engine(RateEngine engine) { engine_ = engine; }
+  [[nodiscard]] RateEngine rate_engine() const { return engine_; }
 
   /// Max-min fair rates for the current flow set (exposed for testing),
   /// sorted by flow id.
@@ -64,10 +94,32 @@ class EpsFabric {
     CompletionCallback on_complete;
     /// Last time this flow's fluid transfer was advanced.
     SimTime last_settle = SimTime::zero();
+    /// Remaining bits as last synced into the in-flight accumulator.
+    double tracked_bits = 0.0;
+  };
+
+  /// One (src, dst) rack pair with at least one active EPS flow. `count`
+  /// is maintained incrementally; `rate` and `frozen` are scratch for the
+  /// current filling pass.
+  struct FlowGroup {
+    std::int32_t src;
+    std::int32_t dst;
+    std::int32_t count = 0;
+    double rate = 0.0;
+    bool frozen = false;
+  };
+
+  /// Lazy min-heap entry for one rack link (links 0..racks-1 are uplinks,
+  /// racks..2*racks-1 downlinks). Stale once `epoch` no longer matches
+  /// link_epoch_ — the link's capacity or load changed after the push.
+  struct LinkEntry {
+    double ratio;
+    std::uint32_t epoch;
+    std::int32_t link;
   };
 
   /// Advance one flow's fluid transfer to now (at its current rate) and
-  /// account the moved bytes.
+  /// account the moved bits.
   void settle_flow(ActiveFlow& af);
   /// Coalesce rate recomputation: mutations within one replan interval
   /// trigger a single progressive-filling pass. The first change after a
@@ -75,16 +127,49 @@ class EpsFabric {
   /// exact); storms are batched at kReplanInterval granularity.
   void request_replan();
   void recompute_and_replan();
+  /// Fast path: water-fill over flow groups with a lazy link min-heap.
+  /// Leaves the per-flow share in each group's `rate`.
+  void fill_rates_grouped();
+  /// Reference path: per-flow progressive filling with a full link scan
+  /// per round. Assigns flow rates directly (including local flows).
+  void fill_rates_reference();
+  /// Push rates onto flows (grouped engine only) and re-plan completion
+  /// events with ETA hysteresis.
+  void replan_completion_events(bool assign_group_rates);
   void on_completion_event(FlowId id);
+  void group_add(const Flow& flow);
+  void group_remove(const Flow& flow);
+  [[nodiscard]] std::size_t pair_index(const Flow& flow) const;
 
   Simulator& sim_;
   HybridTopology topo_;
+  RateEngine engine_ = RateEngine::kGrouped;
   std::unordered_map<FlowId, ActiveFlow> active_;
   SimTime last_replan_ = SimTime::seconds(-1e9);
   bool replan_scheduled_ = false;
-  DataSize eps_bytes_ = DataSize::zero();
-  DataSize local_bytes_ = DataSize::zero();
   std::int64_t replans_ = 0;
+
+  // Byte accounting, kept in double bits and converted at read time.
+  double eps_bits_ = 0.0;
+  double local_bits_ = 0.0;
+  double in_flight_bits_ = 0.0;
+
+  // Flow groups, maintained incrementally on flow start/completion.
+  std::vector<FlowGroup> groups_;
+  std::vector<std::int32_t> group_of_pair_;  // racks*racks, -1 = no group
+  std::vector<std::int32_t> up_count_;   // active EPS flows per source rack
+  std::vector<std::int32_t> down_count_;  // active EPS flows per dest rack
+
+  // Scratch reused across grouped filling passes (no per-pass allocation
+  // once the vectors reach steady-state capacity).
+  std::vector<double> up_cap_;
+  std::vector<double> down_cap_;
+  std::vector<std::int32_t> up_load_;
+  std::vector<std::int32_t> down_load_;
+  std::vector<std::uint32_t> link_epoch_;
+  std::vector<std::vector<std::int32_t>> link_groups_;
+  std::vector<LinkEntry> link_heap_;
+  std::vector<std::int32_t> tight_links_;
 };
 
 }  // namespace cosched

@@ -74,6 +74,12 @@ void SimulationDriver::register_counters() {
   c.add_gauge("eps.replans", [this] {
     return static_cast<double>(net_.eps().replans());
   });
+  c.add_gauge("eps.groups_active", [this] {
+    return static_cast<double>(net_.eps().active_groups());
+  });
+  c.add_gauge("sim.queue_compactions", [this] {
+    return static_cast<double>(sim_.queue_compactions());
+  });
 }
 
 SchedContext SimulationDriver::make_context() {
@@ -310,15 +316,17 @@ void SimulationDriver::on_map_complete(Job& job, Task& task) {
 
 void SimulationDriver::sync_reduce_demand(Job& job) {
   COSCHED_CHECK(job.all_maps_done());
-  std::map<RackId, std::int32_t>& demanded = demanded_[job.id()];
+  std::vector<std::int32_t>& demanded = demanded_[job.id()];
+  demanded.resize(static_cast<std::size_t>(cfg_.topo.num_racks), 0);
   const bool first_release = !job.shuffle_released();
   job.mark_shuffle_released();
   job.coflow().mark_released(sim_.now());
   std::vector<RackId> touched;
   for (const auto& [rack, placed] : job.reduce_placed_by_rack()) {
-    const std::int32_t missing = placed - demanded[rack];
+    const auto ri = static_cast<std::size_t>(rack.value());
+    const std::int32_t missing = placed - demanded[ri];
     if (missing <= 0) continue;
-    demanded[rack] = placed;
+    demanded[ri] = placed;
     touched.push_back(rack);
     const double share = static_cast<double>(missing) /
                          static_cast<double>(job.spec().num_reduces);
@@ -460,6 +468,7 @@ void SimulationDriver::finish_job(Job& job) {
   }
   last_completion_ = std::max(last_completion_, sim_.now());
   ++jobs_completed_;
+  demanded_.erase(job.id());
   auto it = std::find(active_jobs_.begin(), active_jobs_.end(), &job);
   COSCHED_CHECK(it != active_jobs_.end());
   active_jobs_.erase(it);

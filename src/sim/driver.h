@@ -124,8 +124,9 @@ class SimulationDriver : public AvailabilityOracle {
 
   std::vector<std::vector<Task*>> running_by_rack_;
   std::unordered_set<FlowId> flows_in_fabric_;
-  /// Reduce tasks per (job, rack) whose demand is already in the coflow.
-  std::unordered_map<JobId, std::map<RackId, std::int32_t>> demanded_;
+  /// Reduce tasks per (job, rack) whose demand is already in the coflow:
+  /// a flat per-rack vector (indexed by rack) per job, erased with the job.
+  std::unordered_map<JobId, std::vector<std::int32_t>> demanded_;
   std::int64_t deadlock_breaks_ = 0;
 
   bool dispatch_scheduled_ = false;

@@ -9,34 +9,46 @@ EventHandle Simulator::schedule_at(SimTime when, std::function<void()> action) {
                                                                   << " < "
                                                                   << now_);
   COSCHED_CHECK(when.is_finite());
-  auto rec = std::make_shared<detail::EventRecord>();
-  rec->when = when;
-  rec->seq = next_seq_++;
-  rec->action = std::move(action);
-  rec->live = live_;
-  ++*live_;
-  queue_.push(rec);
-  return EventHandle{rec};
+  std::uint32_t slot;
+  if (free_.empty()) {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  } else {
+    slot = free_.back();
+    free_.pop_back();
+  }
+  detail::EventSlot& s = slab_[slot];
+  s.action = std::move(action);
+  heap_.push_back(detail::HeapEntry{when, next_seq_++, slot, s.gen});
+  std::push_heap(heap_.begin(), heap_.end(), detail::FiresLater{});
+  ++live_;
+  return EventHandle{self_, slot, s.gen};
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    auto rec = queue_.top();
-    queue_.pop();
-    if (rec->cancelled) continue;
-    // Mark the record consumed before running it: the action may cancel its
-    // own handle (EPS replan does), and that must not decrement live again.
-    rec->cancelled = true;
-    --*live_;
-    now_ = rec->when;
+  while (!heap_.empty()) {
+    const detail::HeapEntry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), detail::FiresLater{});
+    heap_.pop_back();
+    detail::EventSlot& s = slab_[top.slot];
+    if (s.gen != top.gen) {
+      --tombstones_;  // cancelled: the slot moved on, skip the stale entry
+      continue;
+    }
+    // Consume the slot before running the action: the action may cancel its
+    // own handle (EPS replan does), and the generation bump makes that a
+    // no-op instead of a double-release.
+    ++s.gen;
+    auto action = std::move(s.action);
+    s.action = nullptr;
+    free_.push_back(top.slot);
+    --live_;
+    now_ = top.when;
     ++events_executed_;
     if (events_executed_ % 1000000 == 0) {
       COSCHED_INFO() << "simulator: " << events_executed_ << " events, "
-                     << now_ << ", " << queue_.size() << " queued";
+                     << now_ << ", " << heap_.size() << " queued";
     }
-    // Move the action out so the record can be freed even if the action
-    // schedules further events.
-    auto action = std::move(rec->action);
     action();
     return true;
   }
@@ -49,15 +61,28 @@ void Simulator::run() {
 }
 
 void Simulator::run_until(SimTime deadline) {
-  while (!queue_.empty()) {
-    auto& top = queue_.top();
-    if (top->cancelled) {
-      queue_.pop();
+  while (!heap_.empty()) {
+    const detail::HeapEntry top = heap_.front();
+    if (slab_[top.slot].gen != top.gen) {
+      std::pop_heap(heap_.begin(), heap_.end(), detail::FiresLater{});
+      heap_.pop_back();
+      --tombstones_;
       continue;
     }
-    if (top->when > deadline) return;
+    if (top.when > deadline) return;
     step();
   }
+}
+
+void Simulator::compact() {
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const detail::HeapEntry& e) {
+                               return slab_[e.slot].gen != e.gen;
+                             }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), detail::FiresLater{});
+  tombstones_ = 0;
+  ++compactions_;
 }
 
 }  // namespace cosched

@@ -1,19 +1,28 @@
 // Discrete-event simulation engine.
 //
-// A Simulator owns a priority queue of timestamped events. Events with equal
-// timestamps fire in scheduling order (a monotonically increasing sequence
-// number breaks ties), which makes every run deterministic.
+// A Simulator owns a binary heap of timestamped event entries. Events with
+// equal timestamps fire in scheduling order (a monotonically increasing
+// sequence number breaks ties), which makes every run deterministic.
+//
+// Event records live in a pooled slab with a free list: scheduling an event
+// allocates nothing beyond (amortized) vector growth, and a fired or
+// cancelled slot is recycled for the next event. Each slot carries a
+// generation counter; heap entries and EventHandles snapshot the generation
+// at scheduling time, so a recycled slot invalidates them in O(1) without
+// any shared_ptr/weak_ptr traffic.
 //
 // Scheduling returns an EventHandle that can cancel the event; cancellation
-// is O(1) (the event is tombstoned and skipped when popped). This is the
-// mechanism the flow-level network model uses to re-plan flow completion
-// times whenever rates change.
+// is O(1) (the slot is released and the stale heap entry is skipped when
+// popped). This is the mechanism the flow-level network model uses to
+// re-plan flow completion times whenever rates change. When stale entries
+// (tombstones) outnumber half the physical heap the queue compacts itself,
+// so replan-heavy workloads cannot grow the heap without bound.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/check.h"
@@ -25,21 +34,28 @@ class Simulator;
 
 namespace detail {
 
-struct EventRecord {
-  SimTime when;
-  std::uint64_t seq = 0;
+/// One pooled event slot. `gen` increments whenever the slot is consumed
+/// (fired or cancelled), invalidating outstanding heap entries and handles.
+struct EventSlot {
   std::function<void()> action;
-  bool cancelled = false;
-  // Owning simulator's live-event count. Shared so a handle can decrement
-  // on cancel without holding a Simulator pointer (handles may outlive it).
-  std::shared_ptr<std::int64_t> live;
+  std::uint32_t gen = 0;
 };
 
-struct EventLater {
-  bool operator()(const std::shared_ptr<EventRecord>& a,
-                  const std::shared_ptr<EventRecord>& b) const {
-    if (a->when != b->when) return a->when > b->when;
-    return a->seq > b->seq;
+/// Compact heap entry: ordering data plus a (slot, generation) ticket into
+/// the slab. 24 bytes, no indirection during sift operations.
+struct HeapEntry {
+  SimTime when;
+  std::uint64_t seq = 0;
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;
+};
+
+/// Max-heap comparator on "fires later", so the heap top is the earliest
+/// event; seq breaks timestamp ties in scheduling order.
+struct FiresLater {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
   }
 };
 
@@ -47,37 +63,34 @@ struct EventLater {
 
 /// Cancellation token for a scheduled event. Default-constructed handles are
 /// inert; cancel() on an already-fired or already-cancelled event is a no-op.
+/// Handles stay safe (and inert) even if they outlive the Simulator.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// Prevent the event from firing. Safe to call repeatedly.
-  void cancel() {
-    if (auto rec = record_.lock()) {
-      if (!rec->cancelled) {
-        rec->cancelled = true;
-        if (rec->live) --*rec->live;
-      }
-    }
-  }
+  inline void cancel();
 
   /// True if the event is still queued and will fire.
-  [[nodiscard]] bool pending() const {
-    auto rec = record_.lock();
-    return rec != nullptr && !rec->cancelled;
-  }
+  [[nodiscard]] inline bool pending() const;
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::weak_ptr<detail::EventRecord> rec)
-      : record_(std::move(rec)) {}
-  std::weak_ptr<detail::EventRecord> record_;
+  EventHandle(std::shared_ptr<Simulator*> owner, std::uint32_t slot,
+              std::uint32_t gen)
+      : owner_(std::move(owner)), slot_(slot), gen_(gen) {}
+
+  /// Owning simulator, nulled by ~Simulator so late handles become inert.
+  std::shared_ptr<Simulator*> owner_;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 /// The event loop. Single-threaded; all model code runs inside callbacks.
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator() : self_(std::make_shared<Simulator*>(this)) {}
+  ~Simulator() { *self_ = nullptr; }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -111,24 +124,60 @@ class Simulator {
   /// Cancelled events leave tombstones in the queue but are not counted
   /// here; use events_pending_raw() for the physical queue size.
   [[nodiscard]] std::size_t events_pending() const {
-    return static_cast<std::size_t>(*live_);
+    return static_cast<std::size_t>(live_);
   }
 
-  /// Physical queue size, including tombstones awaiting pop (diagnostics:
-  /// the gap to events_pending() is the tombstone backlog).
-  [[nodiscard]] std::size_t events_pending_raw() const {
-    return queue_.size();
+  /// Physical queue size, including tombstones awaiting pop or compaction
+  /// (diagnostics: the gap to events_pending() is the tombstone backlog).
+  [[nodiscard]] std::size_t events_pending_raw() const { return heap_.size(); }
+
+  /// Times the queue dropped its tombstones in one sweep (diagnostics).
+  [[nodiscard]] std::uint64_t queue_compactions() const {
+    return compactions_;
   }
 
  private:
+  friend class EventHandle;
+
+  [[nodiscard]] bool slot_pending(std::uint32_t slot, std::uint32_t gen) const {
+    return slab_[slot].gen == gen;
+  }
+
+  void cancel_slot(std::uint32_t slot, std::uint32_t gen) {
+    detail::EventSlot& s = slab_[slot];
+    if (s.gen != gen) return;  // already fired or cancelled
+    ++s.gen;
+    s.action = nullptr;
+    free_.push_back(slot);
+    --live_;
+    ++tombstones_;
+    if (tombstones_ * 2 > heap_.size()) compact();
+  }
+
+  /// Drop every stale heap entry and re-heapify. Pop order is a total order
+  /// on (when, seq), so compaction never changes what fires next.
+  void compact();
+
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
-  std::shared_ptr<std::int64_t> live_ = std::make_shared<std::int64_t>(0);
-  std::priority_queue<std::shared_ptr<detail::EventRecord>,
-                      std::vector<std::shared_ptr<detail::EventRecord>>,
-                      detail::EventLater>
-      queue_;
+  std::int64_t live_ = 0;
+  std::size_t tombstones_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::vector<detail::HeapEntry> heap_;
+  std::vector<detail::EventSlot> slab_;
+  std::vector<std::uint32_t> free_;
+  std::shared_ptr<Simulator*> self_;
 };
+
+inline void EventHandle::cancel() {
+  if (owner_ == nullptr || *owner_ == nullptr) return;
+  (*owner_)->cancel_slot(slot_, gen_);
+}
+
+inline bool EventHandle::pending() const {
+  if (owner_ == nullptr || *owner_ == nullptr) return false;
+  return (*owner_)->slot_pending(slot_, gen_);
+}
 
 }  // namespace cosched

@@ -216,5 +216,75 @@ TEST(Simulator, ZeroDelayEventFiresAtCurrentTime) {
             (std::vector<std::string>{"outer", "sibling", "inner"}));
 }
 
+TEST(Simulator, MassCancellationTriggersCompaction) {
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  std::vector<int> fired;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(
+        sim.schedule_at(SimTime::seconds(i), [&fired, i] {
+          fired.push_back(i);
+        }));
+  }
+  // Cancel the tail 51: the 51st cancel tips `tombstones * 2 > heap size`
+  // (102 > 100) and the sweep drops every stale entry at once.
+  for (int i = 49; i < 100; ++i) handles[static_cast<std::size_t>(i)].cancel();
+  EXPECT_GE(sim.queue_compactions(), 1u);
+  EXPECT_EQ(sim.events_pending(), 49u);
+  EXPECT_EQ(sim.events_pending_raw(), sim.events_pending());
+  sim.run();
+  ASSERT_EQ(fired.size(), 49u);
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    // Survivors still fire in timestamp order after the re-heapify.
+    EXPECT_EQ(fired[i], static_cast<int>(i));
+  }
+}
+
+TEST(Simulator, RecycledSlotDoesNotResurrectOldHandle) {
+  Simulator sim;
+  int first = 0;
+  int second = 0;
+  EventHandle stale = sim.schedule_at(SimTime::seconds(1), [&] { ++first; });
+  sim.run();  // fires and frees the slot
+  EXPECT_EQ(first, 1);
+  EXPECT_FALSE(stale.pending());
+  // The next schedule reuses the freed slot with a bumped generation: the
+  // old handle must stay inert and must not cancel the new event.
+  EventHandle fresh = sim.schedule_after(Duration::seconds(1),
+                                         [&] { ++second; });
+  stale.cancel();
+  EXPECT_TRUE(fresh.pending());
+  sim.run();
+  EXPECT_EQ(second, 1);
+}
+
+TEST(Simulator, HandleOutlivesSimulatorSafely) {
+  EventHandle h;
+  {
+    Simulator sim;
+    h = sim.schedule_at(SimTime::seconds(1), [] {});
+    EXPECT_TRUE(h.pending());
+  }
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not touch freed memory
+}
+
+TEST(Simulator, CancelInsideOwnActionIsNoOp) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h;
+  h = sim.schedule_at(SimTime::seconds(1), [&] {
+    ++fired;
+    h.cancel();  // the EPS replan path cancels its own handle mid-action
+  });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.events_pending(), 0u);
+  // The slot freed by firing must be reusable afterwards.
+  sim.schedule_after(Duration::seconds(1), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
 }  // namespace
 }  // namespace cosched

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Run the engine microbenches and maintain BENCH_engine.json.
+
+Two modes:
+
+  run    (default) Execute bench_micro_net and bench_micro_simcore from a
+         build directory, merge the fresh numbers with the committed
+         pre-optimization baselines (results/bench_*_before.json), compute
+         per-benchmark speedups, and write BENCH_engine.json.
+
+  check  Execute both benches with a short --benchmark_min_time and compare
+         against the "after" numbers committed in BENCH_engine.json. Exits
+         non-zero when a bench crashes or any benchmark regressed by more
+         than --max-regression (default 3x). Intended as a CI smoke guard,
+         not a precise gate: shared runners are noisy, so the threshold is
+         deliberately loose and the CI job is continue-on-error.
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SUITES = {
+    "bench_micro_net": "results/bench_net_before.json",
+    "bench_micro_simcore": "results/bench_simcore_before.json",
+}
+
+_NS_PER = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def run_bench(build_dir, name, min_time):
+    exe = os.path.join(build_dir, "bench", name)
+    if not os.path.exists(exe):
+        sys.exit(f"error: {exe} not found (build the benches first)")
+    cmd = [exe, f"--benchmark_min_time={min_time}", "--benchmark_format=json"]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        sys.exit(f"error: {name} exited with {proc.returncode}")
+    return json.loads(proc.stdout)
+
+
+def extract(report):
+    """Map benchmark name -> normalized numbers, skipping aggregates."""
+    out = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["name"]
+        if name.endswith("_BigO") or name.endswith("_RMS"):
+            continue
+        unit = _NS_PER.get(b.get("time_unit", "ns"), 1.0)
+        entry = {"real_time_ns": b["real_time"] * unit}
+        if "items_per_second" in b:
+            entry["items_per_second"] = b["items_per_second"]
+        out[name] = entry
+    return out
+
+
+def load_before(path):
+    full = os.path.join(REPO, path)
+    if not os.path.exists(full):
+        return {}
+    with open(full) as f:
+        return extract(json.load(f))
+
+
+def speedups(before, after):
+    out = {}
+    for name, b in before.items():
+        a = after.get(name)
+        if a is None or a["real_time_ns"] <= 0:
+            continue
+        out[name] = round(b["real_time_ns"] / a["real_time_ns"], 3)
+    return out
+
+
+def cmd_run(args):
+    doc = {
+        "comment": "Engine micro-benchmark record. 'before' is the "
+                   "pre-optimization engine (committed baselines in "
+                   "results/); 'speedup' is before/after wall time. "
+                   "Regenerate with tools/bench_engine.py run.",
+        "min_time_sec": args.min_time,
+        "suites": {},
+    }
+    for suite, before_path in SUITES.items():
+        after = extract(run_bench(args.build_dir, suite, args.min_time))
+        before = load_before(before_path)
+        doc["suites"][suite] = {
+            "before": before,
+            "after": after,
+            "speedup": speedups(before, after),
+        }
+        print(f"{suite}: {len(after)} benchmarks", file=sys.stderr)
+    # In-binary before/after: the reference rate engine ran in the same
+    # process, so this ratio is immune to machine-speed differences.
+    net = doc["suites"].get("bench_micro_net", {}).get("after", {})
+    inbin = {}
+    for arg in ("5000", "8192"):
+        new = net.get(f"BM_EpsHighChurnReplan/{arg}")
+        old = net.get(f"BM_EpsHighChurnReplanReference/{arg}")
+        if new and old and new["real_time_ns"] > 0:
+            inbin[arg] = round(old["real_time_ns"] / new["real_time_ns"], 3)
+    doc["eps_replan_speedup_vs_reference_engine"] = inbin
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+
+
+def cmd_check(args):
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    failures = []
+    for suite in SUITES:
+        fresh = extract(run_bench(args.build_dir, suite, args.min_time))
+        committed = baseline.get("suites", {}).get(suite, {}).get("after", {})
+        for name, ref in committed.items():
+            cur = fresh.get(name)
+            if cur is None:
+                failures.append(f"{suite}: {name} missing from fresh run")
+                continue
+            ratio = cur["real_time_ns"] / max(ref["real_time_ns"], 1e-9)
+            status = "FAIL" if ratio > args.max_regression else "ok"
+            print(f"[{status}] {name}: {ratio:.2f}x committed time")
+            if ratio > args.max_regression:
+                failures.append(
+                    f"{suite}: {name} is {ratio:.2f}x slower than the "
+                    f"committed number (limit {args.max_regression}x)")
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        sys.exit(1)
+    print("bench check passed")
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("mode", nargs="?", default="run", choices=["run", "check"])
+    p.add_argument("--build-dir", default=os.path.join(REPO, "build"))
+    p.add_argument("--out", default=os.path.join(REPO, "BENCH_engine.json"))
+    p.add_argument("--baseline",
+                   default=os.path.join(REPO, "BENCH_engine.json"))
+    p.add_argument("--min-time", default="0.2",
+                   help="--benchmark_min_time per bench binary")
+    p.add_argument("--max-regression", type=float, default=3.0)
+    args = p.parse_args()
+    if args.mode == "run":
+        cmd_run(args)
+    else:
+        cmd_check(args)
+
+
+if __name__ == "__main__":
+    main()
