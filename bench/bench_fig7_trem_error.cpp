@@ -24,7 +24,10 @@ int main(int argc, char** argv) {
   std::vector<double> makespans, jcts, ccts;
   for (double err : errors) {
     ExperimentConfig ecfg = paper_config(args);
-    ecfg.sim.trem_error_rate = err;
+    // The error is injected through the faults layer; trem_error_or routes
+    // it into the same TremEstimator stream, so this is bit-for-bit the
+    // legacy `sim.trem_error_rate = err` at the same seed.
+    ecfg.sim.faults.trem_noise = TremNoiseFault{err};
     const AggregateMetrics m = run_experiment(
         ecfg, make_scheduler_factory("coscheduler"), args.parallel());
     makespans.push_back(m.makespan_sec.mean() / fair.makespan_sec.mean());

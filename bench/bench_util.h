@@ -9,6 +9,10 @@
 //                serial; 0 = one per hardware thread). Results are
 //                bit-for-bit identical for every thread count — see
 //                ParallelExperimentConfig and ctest -L determinism.
+//   --faults=SPEC fault-injection plan applied to every run (see
+//                src/faults/fault_spec.h for the grammar, docs/FAULTS.md
+//                for the model), e.g.
+//                --faults=straggler:p=0.05:slow=2,ocs-outage:at=300s:dur=60s
 // and prints one table per figure panel, with values normalized exactly the
 // way the paper normalizes them (to the Fair scheduler unless stated).
 //
@@ -31,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/fault_spec.h"
 #include "sim/experiment.h"
 
 namespace cosched::bench {
@@ -69,6 +74,10 @@ struct BenchArgs {
   std::string trace_out;
   std::string counters_out;
   bool profile = false;
+  /// Validated fault plan from --faults= (empty plan when the flag is
+  /// absent), plus the original spec string for display.
+  FaultPlan faults;
+  std::string faults_spec;
 
   [[nodiscard]] bool observing() const {
     return !trace_out.empty() || !counters_out.empty();
@@ -123,6 +132,16 @@ struct BenchArgs {
                    std::string(threads) + "'";
           return std::nullopt;
         }
+      } else if (const char* faults = value("--faults=")) {
+        std::string parse_error;
+        const std::optional<FaultPlan> plan =
+            FaultPlan::parse(faults, &parse_error);
+        if (!plan.has_value()) {
+          *error = "--faults: " + parse_error;
+          return std::nullopt;
+        }
+        args.faults = *plan;
+        args.faults_spec = faults;
       } else if (const char* trace = value("--trace-out=")) {
         args.trace_out = trace;
       } else if (const char* counters = value("--counters-out=")) {
@@ -144,6 +163,7 @@ struct BenchArgs {
     std::printf(
         "usage: %s [--reps=N] [--jobs=N (paper: 1000)] [--seed=N]\n"
         "          [--threads=N (0 = all hardware threads)]\n"
+        "          [--faults=SPEC (see docs/FAULTS.md)]\n"
         "          [--trace-out=PATH] [--counters-out=PATH] [--profile]\n",
         prog);
   }
@@ -180,6 +200,7 @@ inline ExperimentConfig paper_config(const BenchArgs& args) {
       Duration::minutes(90.0 * args.jobs / 1000.0);
   cfg.repetitions = args.reps;
   cfg.base_seed = args.seed;
+  cfg.sim.faults = args.faults;
   return cfg;
 }
 

@@ -99,6 +99,35 @@ bool Job::map_local_on(std::int32_t map_index, RackId rack) const {
   return std::find(b.racks.begin(), b.racks.end(), rack) != b.racks.end();
 }
 
+void Job::requeue_map(std::int32_t index) {
+  COSCHED_CHECK(index >= 0 && index < spec_.num_maps);
+  COSCHED_CHECK(maps_[static_cast<std::size_t>(index)].state() ==
+                TaskState::kPending);
+  --maps_placed_;
+  // The monotonic cursor may already be past this task; pull it back so
+  // next_pending_map_any can find it again. Stale per-rack queue entries
+  // are harmless (pruned by state), so pushing unconditionally is safe.
+  map_cursor_ = std::min(map_cursor_, index);
+  if (!blocks_.empty()) {
+    for (RackId r : blocks_[static_cast<std::size_t>(index)].racks) {
+      pending_maps_by_rack_[r].push_back(index);
+    }
+  }
+  // map_racks_used_ keeps the killed attempt's rack: the attempt did run
+  // there, and the set only feeds placement heuristics.
+}
+
+void Job::requeue_reduce(std::int32_t index, RackId rack) {
+  COSCHED_CHECK(index >= 0 && index < spec_.num_reduces);
+  COSCHED_CHECK(reduces_[static_cast<std::size_t>(index)].state() ==
+                TaskState::kPending);
+  --reduces_placed_;
+  auto it = reduce_placed_by_rack_.find(rack);
+  COSCHED_CHECK(it != reduce_placed_by_rack_.end() && it->second > 0);
+  --it->second;
+  reduce_cursor_ = std::min(reduce_cursor_, index);
+}
+
 std::int32_t Job::reduce_plan_remaining(RackId rack) const {
   auto it = reduce_plan_.find(rack);
   if (it == reduce_plan_.end()) return 0;

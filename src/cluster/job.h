@@ -152,6 +152,15 @@ class Job {
   /// next_pending_map_local.
   [[nodiscard]] std::vector<RackId> racks_with_pending_local_maps() const;
 
+  // ----- fault injection ----------------------------------------------------
+  /// A running map attempt was killed: undo its placement accounting and
+  /// make the task schedulable again. Call after Task::reset_for_retry().
+  void requeue_map(std::int32_t index);
+  /// Same for a reduce attempt that had been placed on `rack`; decrementing
+  /// the per-rack placement count re-opens the slot in the reduce plan, so
+  /// OCAS naturally re-grants it.
+  void requeue_reduce(std::int32_t index, RackId rack);
+
   /// Whether the job's shuffle demand has been materialized into flows.
   [[nodiscard]] bool shuffle_released() const { return shuffle_released_; }
   void mark_shuffle_released() { shuffle_released_ = true; }

@@ -48,10 +48,20 @@ class Task {
   [[nodiscard]] Duration read_penalty() const { return read_penalty_; }
   void set_read_penalty(Duration d) { read_penalty_ = d; }
 
+  /// Service-time multiplier for this attempt (fault injection; 1.0 = none).
+  [[nodiscard]] double straggle_factor() const { return straggle_factor_; }
+  void set_straggle_factor(double f) {
+    COSCHED_CHECK(f >= 1.0);
+    straggle_factor_ = f;
+  }
+
   /// Total time the task occupies its container once computing.
   [[nodiscard]] Duration run_duration() const {
-    return compute_duration_ + read_penalty_;
+    return (compute_duration_ + read_penalty_) * straggle_factor_;
   }
+
+  /// Which attempt is (or was last) running; 1 until a fault kills one.
+  [[nodiscard]] std::int32_t attempt() const { return attempt_; }
 
   void place(RackId rack, NodeId node, SimTime now) {
     COSCHED_CHECK(state_ == TaskState::kPending);
@@ -80,6 +90,18 @@ class Task {
     completed_at_ = now;
   }
 
+  /// Fault injection: the container died mid-attempt. The task goes back to
+  /// kPending for a fresh attempt; all placement state is discarded.
+  void reset_for_retry() {
+    COSCHED_CHECK(state_ == TaskState::kRunning);
+    state_ = TaskState::kPending;
+    rack_ = RackId::invalid();
+    node_ = NodeId::invalid();
+    compute_started_ = false;
+    straggle_factor_ = 1.0;
+    ++attempt_;
+  }
+
   /// True remaining run time; only meaningful while computing.
   [[nodiscard]] Duration true_remaining(SimTime now) const {
     COSCHED_CHECK(compute_started_ && state_ == TaskState::kRunning);
@@ -95,6 +117,8 @@ class Task {
   std::int32_t index_;
   Duration compute_duration_;
   Duration read_penalty_ = Duration::zero();
+  double straggle_factor_ = 1.0;
+  std::int32_t attempt_ = 1;
 
   TaskState state_ = TaskState::kPending;
   RackId rack_ = RackId::invalid();

@@ -74,6 +74,32 @@ DataSize SunflowScheduler::bytes_in_flight() const {
   return DataSize::bytes(static_cast<std::int64_t>(bits / 8.0));
 }
 
+std::vector<Flow*> SunflowScheduler::evict_all() {
+  std::vector<Flow*> evicted;
+  evicted.reserve(active_.size() + pending_flows());
+  for (auto& [id, at] : active_) {
+    Flow& flow = *at.flow;
+    if (at.state == TransferState::kTransferring) {
+      const double moved = flow.settle(sim_.now() - at.last_update);
+      if (moved > 0.0) net_.note_ocs_drained_bits(moved);
+      flow.completion_event().cancel();
+      flow.set_rate(Bandwidth::zero());
+    }
+    // Tears down a connected circuit, or cancels one mid-reconfiguration:
+    // the teardown's generation bump invalidates the pending setup
+    // completion, so start_transfer never fires for this flow.
+    net_.ocs().teardown_circuit(flow.src(), flow.dst());
+    evicted.push_back(&flow);
+  }
+  active_.clear();
+  for (CoflowId cid : order_) {
+    for (Flow* f : entries_.at(cid).pending) evicted.push_back(f);
+  }
+  entries_.clear();
+  order_.clear();
+  return evicted;
+}
+
 void SunflowScheduler::request_allocation_pass() {
   if (pass_scheduled_) return;
   pass_scheduled_ = true;

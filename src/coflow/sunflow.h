@@ -40,6 +40,16 @@ class SunflowScheduler : public CircuitScheduler {
   /// Bytes still to drain across pending and circuit-held flows.
   [[nodiscard]] DataSize bytes_in_flight() const;
 
+  /// Fault injection (OCS outage): abort every queued and in-flight OCS
+  /// transfer. Mid-circuit flows are settled first — the bits they already
+  /// drained are credited to the network's OCS accounting — and their
+  /// circuits torn down (including circuits still reconfiguring). The
+  /// returned flows are incomplete and unrouted as far as this scheduler is
+  /// concerned; the caller re-routes them (onto the EPS). Deterministic
+  /// order: circuit holders by flow id, then queued flows by coflow
+  /// priority.
+  [[nodiscard]] std::vector<Flow*> evict_all();
+
   /// Attach tracing + decision logging; null (the default) disables both.
   void set_observability(Observability* obs) { obs_ = obs; }
 

@@ -1,0 +1,38 @@
+#include "faults/fault_injector.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cosched {
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)),
+      straggler_rng_(Rng(seed).fork(kStragglerStream)),
+      kill_rng_(Rng(seed).fork(kKillStream)),
+      jitter_rng_(Rng(seed).fork(kJitterStream)) {}
+
+double FaultInjector::draw_straggler_multiplier() {
+  COSCHED_DCHECK(has_straggler());
+  if (!straggler_rng_.bernoulli(plan_.straggler->p)) return 1.0;
+  ++stats_.stragglers;
+  return plan_.straggler->slow;
+}
+
+std::optional<double> FaultInjector::draw_kill_point() {
+  COSCHED_DCHECK(has_container_kill());
+  if (!kill_rng_.bernoulli(plan_.container_kill->p)) return std::nullopt;
+  // Strictly inside the attempt: the kill always lands before completion, so
+  // a killed attempt can never also complete.
+  return kill_rng_.uniform(0.05, 0.95);
+}
+
+Duration FaultInjector::jittered_reconfig_delay(Duration nominal) {
+  COSCHED_DCHECK(has_reconfig_jitter());
+  const double pct = plan_.reconfig_jitter->pct;
+  const double factor = jitter_rng_.uniform(1.0 - pct, 1.0 + pct);
+  return nominal * std::max(factor, 0.0);
+}
+
+}  // namespace cosched

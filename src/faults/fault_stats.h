@@ -1,0 +1,29 @@
+// Per-run fault accounting. Header-only POD so the metrics layer can embed
+// it in RunMetrics without linking against the faults library.
+//
+// Every counter is zero for a run with an empty fault plan.
+#pragma once
+
+#include <cstdint>
+
+namespace cosched {
+
+struct FaultSummary {
+  /// Task attempts slowed by the straggler fault.
+  std::int64_t stragglers = 0;
+  /// Map / reduce attempts killed mid-run (each implies one re-execution).
+  std::int64_t maps_killed = 0;
+  std::int64_t reduces_killed = 0;
+  /// OCS outage windows that began during the run.
+  std::int64_t ocs_outages = 0;
+  /// OCS flows (pending or mid-circuit) evicted onto the EPS by outages.
+  std::int64_t flows_evicted = 0;
+  /// Total simulated seconds the OCS was unavailable.
+  double ocs_downtime_sec = 0.0;
+
+  [[nodiscard]] std::int64_t tasks_killed() const {
+    return maps_killed + reduces_killed;
+  }
+};
+
+}  // namespace cosched

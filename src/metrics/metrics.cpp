@@ -73,6 +73,8 @@ void AggregateMetrics::add(const RunMetrics& run) {
   avg_cct_heavy_sec.add(run.avg_cct_sec(true));
   avg_cct_light_sec.add(run.avg_cct_sec(false));
   ocs_fraction.add(run.ocs_traffic_fraction());
+  tasks_killed.add(static_cast<double>(run.faults.tasks_killed()));
+  stragglers.add(static_cast<double>(run.faults.stragglers));
 }
 
 double improvement_over(double baseline, double subject) {

@@ -10,6 +10,7 @@
 #include "common/ids.h"
 #include "common/stats.h"
 #include "common/units.h"
+#include "faults/fault_stats.h"
 
 namespace cosched {
 
@@ -23,6 +24,10 @@ struct JobRecord {
   Duration jct = Duration::zero();
   Duration cct = Duration::zero();  // valid iff has_shuffle
   DataSize shuffle_bytes;
+  /// Total map output credited to racks. Always exactly
+  /// num_maps * map_output_size: a map attempt killed and re-executed
+  /// regenerates its output once, never zero or twice.
+  DataSize map_output_bytes;
 
   /// Task-phase timing (for invariant checks and phase breakdowns).
   SimTime last_map_completion = SimTime::zero();
@@ -48,6 +53,9 @@ struct RunMetrics {
 
   std::uint64_t events_executed = 0;
 
+  /// Fault accounting (all zero when the run had an empty fault plan).
+  FaultSummary faults;
+
   // ---- derived ------------------------------------------------------------
   [[nodiscard]] double avg_jct_sec() const;
   [[nodiscard]] double avg_cct_sec() const;
@@ -70,6 +78,8 @@ struct AggregateMetrics {
   RunningStat avg_cct_heavy_sec;
   RunningStat avg_cct_light_sec;
   RunningStat ocs_fraction;
+  RunningStat tasks_killed;
+  RunningStat stragglers;
 
   void add(const RunMetrics& run);
 };

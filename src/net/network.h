@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "common/check.h"
 #include "net/eps_fabric.h"
 #include "net/ocs_switch.h"
 #include "net/topology.h"
@@ -24,18 +25,38 @@ class Network {
   [[nodiscard]] const OcsSwitch& ocs() const { return ocs_; }
 
   /// Route a flow: local if intra-rack, OCS if the aggregated rack-pair
-  /// demand reaches the elephant threshold, EPS otherwise.
+  /// demand reaches the elephant threshold, EPS otherwise. During an OCS
+  /// outage every cross-rack flow degrades to the EPS.
   [[nodiscard]] FlowPath classify(const Flow& flow) const {
     if (flow.src() == flow.dst()) return FlowPath::kLocal;
+    if (!ocs_available()) return FlowPath::kEps;
     if (flow.size() >= topo_.elephant_threshold) return FlowPath::kOcs;
     return FlowPath::kEps;
+  }
+
+  // ----- OCS availability (fault injection) --------------------------------
+  // A depth counter so overlapping outage windows compose: the OCS is back
+  // only when every window that covers `now` has ended.
+  [[nodiscard]] bool ocs_available() const { return ocs_down_depth_ == 0; }
+  void begin_ocs_outage() { ++ocs_down_depth_; }
+  void end_ocs_outage() {
+    COSCHED_CHECK(ocs_down_depth_ > 0);
+    --ocs_down_depth_;
   }
 
   /// OCS byte accounting, reported by the circuit scheduler as transfers
   /// drain (the OCS itself is rate-constant so the scheduler owns timing).
   void note_ocs_bytes(DataSize bytes) { ocs_bytes_ += bytes; }
+  /// Partial-drain accounting for circuits torn down mid-transfer (OCS
+  /// outage eviction). Kept in a separate accumulator so runs without
+  /// evictions report byte counts bit-identical to runs without this hook.
+  void note_ocs_drained_bits(double bits) { ocs_evicted_bits_ += bits; }
 
-  [[nodiscard]] DataSize ocs_bytes_transferred() const { return ocs_bytes_; }
+  [[nodiscard]] DataSize ocs_bytes_transferred() const {
+    if (ocs_evicted_bits_ == 0.0) return ocs_bytes_;
+    return ocs_bytes_ +
+           DataSize::bytes(static_cast<std::int64_t>(ocs_evicted_bits_ / 8.0));
+  }
   [[nodiscard]] DataSize eps_bytes_transferred() const {
     return eps_.eps_bytes_transferred();
   }
@@ -48,6 +69,8 @@ class Network {
   EpsFabric eps_;
   OcsSwitch ocs_;
   DataSize ocs_bytes_ = DataSize::zero();
+  double ocs_evicted_bits_ = 0.0;
+  std::int32_t ocs_down_depth_ = 0;
 };
 
 }  // namespace cosched

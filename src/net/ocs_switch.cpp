@@ -71,8 +71,11 @@ void OcsSwitch::setup_circuit(RackId src, RackId dst,
 
   const std::int64_t gen_out = o.generation;
   const std::int64_t gen_in = i.generation;
+  const Duration delay = reconfig_delay_provider_
+                             ? reconfig_delay_provider_()
+                             : topo_.ocs_reconfig_delay;
   sim_.schedule_after(
-      topo_.ocs_reconfig_delay,
+      delay,
       [this, src, dst, gen_out, gen_in, cb = std::move(on_up)] {
         auto& oo = out(src);
         auto& ii = in(dst);

@@ -77,6 +77,13 @@ class OcsSwitch {
   /// (the default) disables tracing.
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
+  /// Override the per-setup reconfiguration delay (fault injection: jitter
+  /// around delta). Unset (the default) uses the topology's constant delta,
+  /// with no call overhead on that path.
+  void set_reconfig_delay_provider(std::function<Duration()> provider) {
+    reconfig_delay_provider_ = std::move(provider);
+  }
+
  private:
   struct PortPair {
     PortState state = PortState::kFree;
@@ -98,6 +105,7 @@ class OcsSwitch {
   std::int64_t circuits_established_ = 0;
   std::int64_t reconfigurations_ = 0;
   TraceRecorder* trace_ = nullptr;
+  std::function<Duration()> reconfig_delay_provider_;
 };
 
 }  // namespace cosched

@@ -59,4 +59,14 @@ void DecisionLog::write_circuits_csv(std::ostream& os) const {
   COSCHED_CHECK_MSG(os.good(), "circuit CSV export failed");
 }
 
+void DecisionLog::write_faults_csv(std::ostream& os) const {
+  os << "time_sec,action,job,task,flow,rack,value\n";
+  for (const FaultDecision& f : faults_) {
+    os << f.at.sec() << ',' << to_string(f.action) << ',' << f.job.value()
+       << ',' << f.task.value() << ',' << f.flow.value() << ','
+       << f.rack.value() << ',' << f.value << "\n";
+  }
+  COSCHED_CHECK_MSG(os.good(), "fault CSV export failed");
+}
+
 }  // namespace cosched

@@ -1,6 +1,6 @@
 // DecisionLog: an audit trail of scheduler choices with their inputs.
 //
-// Three decision families, matching the paper's mechanisms:
+// Four decision families, matching the paper's mechanisms:
 //   * PlacementDecision — one per PSRT+SBS pass: the R_map guideline the
 //     job ran under, every candidate count considered, the chosen reduce
 //     distribution D, the concrete rack plan (R_red racks), and the
@@ -9,6 +9,8 @@
 //     on which rack, under which OCAS priority class.
 //   * CircuitDecision — one per circuit the coflow scheduler requests:
 //     which flow, between which racks, at what coflow priority.
+//   * FaultDecision — one per injected fault event: what the fault layer
+//     did (straggle, kill, outage begin/end, flow eviction) and to whom.
 //
 // Like the TraceRecorder, a default-constructed log is disabled and
 // record() is an early-return.
@@ -67,6 +69,44 @@ struct CircuitDecision {
   DataSize bytes;
 };
 
+enum class FaultAction : std::uint8_t {
+  kStraggle,     // task slowed; value = service multiplier
+  kKillMap,      // map attempt killed; value = kill point (fraction)
+  kKillReduce,   // reduce attempt killed; value = kill point (fraction)
+  kOutageBegin,  // OCS down; value = window duration (s)
+  kOutageEnd,    // OCS back
+  kFlowEvicted,  // OCS flow moved to the EPS; value = bits left to drain
+};
+
+[[nodiscard]] constexpr const char* to_string(FaultAction a) {
+  switch (a) {
+    case FaultAction::kStraggle:
+      return "straggle";
+    case FaultAction::kKillMap:
+      return "kill_map";
+    case FaultAction::kKillReduce:
+      return "kill_reduce";
+    case FaultAction::kOutageBegin:
+      return "outage_begin";
+    case FaultAction::kOutageEnd:
+      return "outage_end";
+    case FaultAction::kFlowEvicted:
+      return "flow_evicted";
+  }
+  return "?";
+}
+
+struct FaultDecision {
+  SimTime at;
+  FaultAction action{};
+  JobId job = JobId::invalid();
+  TaskId task = TaskId::invalid();
+  FlowId flow = FlowId::invalid();
+  RackId rack = RackId::invalid();
+  /// Action-dependent scalar (see FaultAction comments).
+  double value = 0.0;
+};
+
 class DecisionLog {
  public:
   DecisionLog() = default;
@@ -83,6 +123,9 @@ class DecisionLog {
   void record(const CircuitDecision& d) {
     if (enabled_) circuits_.push_back(d);
   }
+  void record(const FaultDecision& d) {
+    if (enabled_) faults_.push_back(d);
+  }
 
   [[nodiscard]] const std::vector<PlacementDecision>& placements() const {
     return placements_;
@@ -93,17 +136,22 @@ class DecisionLog {
   [[nodiscard]] const std::vector<CircuitDecision>& circuits() const {
     return circuits_;
   }
+  [[nodiscard]] const std::vector<FaultDecision>& faults() const {
+    return faults_;
+  }
 
   /// CSV exports, one file (section) per decision family.
   void write_placements_csv(std::ostream& os) const;
   void write_grants_csv(std::ostream& os) const;
   void write_circuits_csv(std::ostream& os) const;
+  void write_faults_csv(std::ostream& os) const;
 
  private:
   bool enabled_ = false;
   std::vector<PlacementDecision> placements_;
   std::vector<GrantDecision> grants_;
   std::vector<CircuitDecision> circuits_;
+  std::vector<FaultDecision> faults_;
 };
 
 }  // namespace cosched

@@ -30,6 +30,10 @@ enum class TraceEventKind : std::uint8_t {
   kCircuitUp,          // src, dst (circuit carries traffic)
   kCircuitTeardown,    // src, dst
   kDeadlockBreak,      // a: total breaks so far
+  kTaskStraggle,       // job, task, src=rack; b: service multiplier
+  kTaskKilled,         // job, task, src=rack; a: 0=map 1=reduce
+  kOcsOutage,          // a: 1=begin 0=end; b: window duration (s)
+  kFlowEvicted,        // job, flow, src, dst; b: bits still to drain
 };
 
 /// Export-time names; indexable by static_cast<size_t>(kind).
@@ -61,6 +65,14 @@ enum class TraceEventKind : std::uint8_t {
       return "circuit_teardown";
     case TraceEventKind::kDeadlockBreak:
       return "deadlock_break";
+    case TraceEventKind::kTaskStraggle:
+      return "task_straggle";
+    case TraceEventKind::kTaskKilled:
+      return "task_killed";
+    case TraceEventKind::kOcsOutage:
+      return "ocs_outage";
+    case TraceEventKind::kFlowEvicted:
+      return "flow_evicted";
   }
   return "?";
 }

@@ -18,11 +18,18 @@ SimulationDriver::SimulationDriver(SimConfig cfg, std::vector<JobSpec> workload,
       sunflow_(sim_, net_),
       cluster_(cfg_.topo),
       rng_(cfg_.seed),
-      trem_(Rng(cfg_.seed).fork(0xbeef), cfg_.trem_error_rate),
+      trem_(Rng(cfg_.seed).fork(0xbeef),
+            cfg_.faults.trem_error_or(cfg_.trem_error_rate)),
+      faults_(cfg_.faults, cfg_.seed),
       running_by_rack_(static_cast<std::size_t>(cfg_.topo.num_racks)) {
   COSCHED_CHECK(scheduler_ != nullptr);
   cfg_.topo.validate();
   sunflow_.set_on_flow_complete([this](Flow& f) { on_flow_complete(f); });
+  if (faults_.has_reconfig_jitter()) {
+    net_.ocs().set_reconfig_delay_provider([this] {
+      return faults_.jittered_reconfig_delay(cfg_.topo.ocs_reconfig_delay);
+    });
+  }
   if (cfg_.obs != nullptr) {
     net_.ocs().set_trace(&cfg_.obs->trace);
     sunflow_.set_observability(cfg_.obs);
@@ -92,6 +99,10 @@ RunMetrics SimulationDriver::run() {
   for (std::size_t i = 0; i < workload_.size(); ++i) {
     sim_.schedule_at(workload_[i].arrival, [this, i] { on_job_arrival(i); });
   }
+  for (const OcsOutageFault& o : faults_.plan().ocs_outages) {
+    sim_.schedule_at(o.at, [this, o] { begin_ocs_outage(o); });
+    sim_.schedule_at(o.at + o.dur, [this, o] { end_ocs_outage(o); });
+  }
   while (true) {
     // (Re-)arm the counter sampler: it disarms itself whenever the queue
     // would otherwise drain, so each recovery round needs a fresh arm.
@@ -113,6 +124,12 @@ RunMetrics SimulationDriver::run() {
   m.eps_bytes = net_.eps_bytes_transferred();
   m.local_bytes = net_.local_bytes_transferred();
   m.events_executed = sim_.events_executed();
+  m.faults = faults_.stats();
+  // Every container must be back: killed tasks release their slots and
+  // every retry ran to completion.
+  COSCHED_CHECK_MSG(cluster_.total_free_slots() ==
+                        cfg_.topo.num_racks * cfg_.topo.slots_per_rack(),
+                    "containers leaked at end of run");
   m.jobs.reserve(jobs_.size());
   for (const auto& job : jobs_) {
     JobRecord rec;
@@ -133,6 +150,9 @@ RunMetrics SimulationDriver::run() {
       for (const auto& f : job->coflow().flows()) {
         if (f->path() != FlowPath::kOcs) rec.all_flows_ocs = false;
       }
+    }
+    for (const auto& [rack, output] : job->map_output_by_rack()) {
+      rec.map_output_bytes += output;
     }
     for (const Task& t : job->maps()) {
       rec.last_map_completion =
@@ -256,16 +276,21 @@ void SimulationDriver::start_task(Job& job, Task& task, RackId rack,
       task.set_read_penalty(
           transfer_time(job.spec().block_size(), cfg_.topo.server_nic));
     }
+    apply_attempt_faults(job, task);
     Job* jp = &job;
     Task* tp = &task;
-    sim_.schedule_after(task.run_duration(),
-                        [this, jp, tp] { on_map_complete(*jp, *tp); });
+    EventHandle done = sim_.schedule_after(
+        task.run_duration(), [this, jp, tp] { on_map_complete(*jp, *tp); });
+    if (faults_.has_container_kill()) {
+      completion_events_[task.id()] = std::move(done);
+    }
     return;
   }
 
   // Reduce task: occupies the container; shuffle demand materializes per
   // the scheduler's reduce semantics.
   job.note_reduce_placed(rack);
+  apply_attempt_faults(job, task);
   if (scheduler_->defers_reduces()) {
     COSCHED_CHECK_MSG(job.all_maps_done(),
                       "deferred scheduler placed a reduce before maps done");
@@ -278,6 +303,11 @@ void SimulationDriver::start_task(Job& job, Task& task, RackId rack,
   } else if (job.all_maps_done()) {
     sync_reduce_demand(job);
   }
+  // A retried reduce can land on a rack whose fetches already drained;
+  // sync_reduce_demand then has no new demand to materialize for the rack
+  // and will not poke it, so check for an immediately-startable compute
+  // here. Idempotent and guard-gated: a no-op on every non-retry placement.
+  if (job.shuffle_released()) try_start_reduce_computes(job, rack);
 }
 
 void SimulationDriver::remove_running(RackId rack, Task& task) {
@@ -300,6 +330,7 @@ void SimulationDriver::on_map_complete(Job& job, Task& task) {
   remove_running(task.rack(), task);
   cluster_.release_slot(task.rack(), task.node());
   trem_.forget(task.id());
+  if (faults_.has_container_kill()) completion_events_.erase(task.id());
   job.note_map_completed(task.rack(), job.spec().map_output_size());
 
   if (job.all_maps_done()) {
@@ -386,6 +417,11 @@ void SimulationDriver::route_flow(Job& job, Flow& flow, bool created) {
   }
   // Reopened: the flow had drained, and a late reduce added more demand.
   flows_in_fabric_.insert(flow.id());
+  if (flow.path() == FlowPath::kOcs && !net_.ocs_available()) {
+    // The flow rode the OCS before, but the OCS is down now: degrade the
+    // re-fetch onto the EPS rather than queueing behind the outage.
+    flow.set_path(FlowPath::kEps);
+  }
   if (flow.path() == FlowPath::kOcs) {
     sunflow_.submit(job.coflow(), flow);
   } else {
@@ -435,8 +471,139 @@ void SimulationDriver::try_start_reduce_computes(Job& job, RackId rack) {
     }
     Job* jp = &job;
     Task* tp = &t;
-    sim_.schedule_after(t.run_duration(),
-                        [this, jp, tp] { on_reduce_complete(*jp, *tp); });
+    EventHandle done = sim_.schedule_after(
+        t.run_duration(), [this, jp, tp] { on_reduce_complete(*jp, *tp); });
+    if (faults_.has_container_kill()) {
+      completion_events_[t.id()] = std::move(done);
+    }
+  }
+}
+
+void SimulationDriver::apply_attempt_faults(Job& job, Task& task) {
+  if (faults_.has_straggler()) {
+    const double multiplier = faults_.draw_straggler_multiplier();
+    if (multiplier != 1.0) {
+      task.set_straggle_factor(multiplier);
+      if (cfg_.obs != nullptr) {
+        cfg_.obs->trace.record({.kind = TraceEventKind::kTaskStraggle,
+                                .at = sim_.now(),
+                                .job = job.id(),
+                                .task = task.id(),
+                                .src = task.rack(),
+                                .b = multiplier});
+        cfg_.obs->decisions.record(FaultDecision{.at = sim_.now(),
+                                                 .action = FaultAction::kStraggle,
+                                                 .job = job.id(),
+                                                 .task = task.id(),
+                                                 .rack = task.rack(),
+                                                 .value = multiplier});
+      }
+    }
+  }
+  // A zero-length attempt completes at its own placement instant; there is
+  // no interior point to kill it at, so it never draws.
+  if (faults_.has_container_kill() &&
+      task.run_duration() > Duration::zero()) {
+    if (const std::optional<double> frac = faults_.draw_kill_point()) {
+      Job* jp = &job;
+      Task* tp = &task;
+      // frac < 1 puts the kill strictly before this attempt's completion
+      // (a reduce computes no earlier than its placement), so a killed
+      // attempt can never also complete.
+      sim_.schedule_after(task.run_duration() * *frac,
+                          [this, jp, tp] { on_task_killed(*jp, *tp); });
+    }
+  }
+}
+
+void SimulationDriver::on_task_killed(Job& job, Task& task) {
+  COSCHED_CHECK(task.state() == TaskState::kRunning);
+  const bool is_map = task.kind() == TaskKind::kMap;
+  const RackId rack = task.rack();
+  const double frac = task.run_duration() > Duration::zero()
+                          ? (sim_.now() - task.placed_at()) /
+                                task.run_duration()
+                          : 0.0;
+  if (auto it = completion_events_.find(task.id());
+      it != completion_events_.end()) {
+    it->second.cancel();
+    completion_events_.erase(it);
+  }
+  remove_running(rack, task);
+  cluster_.release_slot(rack, task.node());
+  trem_.forget(task.id());
+  if (cfg_.obs != nullptr) {
+    cfg_.obs->trace.record({.kind = TraceEventKind::kTaskKilled,
+                            .at = sim_.now(),
+                            .job = job.id(),
+                            .task = task.id(),
+                            .src = rack,
+                            .a = is_map ? 0 : 1});
+    cfg_.obs->decisions.record(FaultDecision{
+        .at = sim_.now(),
+        .action = is_map ? FaultAction::kKillMap : FaultAction::kKillReduce,
+        .job = job.id(),
+        .task = task.id(),
+        .rack = rack,
+        .value = frac});
+  }
+  task.reset_for_retry();
+  if (is_map) {
+    job.requeue_map(task.index());
+    ++faults_.stats().maps_killed;
+  } else {
+    job.requeue_reduce(task.index(), rack);
+    ++faults_.stats().reduces_killed;
+  }
+  ++pending_tasks_;
+  request_dispatch();
+}
+
+void SimulationDriver::begin_ocs_outage(const OcsOutageFault& outage) {
+  ++faults_.stats().ocs_outages;
+  faults_.stats().ocs_downtime_sec += outage.dur.sec();
+  net_.begin_ocs_outage();
+  if (cfg_.obs != nullptr) {
+    cfg_.obs->trace.record({.kind = TraceEventKind::kOcsOutage,
+                            .at = sim_.now(),
+                            .a = 1,
+                            .b = outage.dur.sec()});
+    cfg_.obs->decisions.record(FaultDecision{.at = sim_.now(),
+                                             .action = FaultAction::kOutageBegin,
+                                             .value = outage.dur.sec()});
+  }
+  // Degrade gracefully: everything the circuit scheduler held — queued or
+  // mid-transfer — finishes its remaining bytes over the EPS.
+  for (Flow* flow : sunflow_.evict_all()) {
+    ++faults_.stats().flows_evicted;
+    if (cfg_.obs != nullptr) {
+      cfg_.obs->trace.record({.kind = TraceEventKind::kFlowEvicted,
+                              .at = sim_.now(),
+                              .job = flow->job(),
+                              .flow = flow->id(),
+                              .src = flow->src(),
+                              .dst = flow->dst(),
+                              .b = flow->remaining_bits()});
+      cfg_.obs->decisions.record(FaultDecision{.at = sim_.now(),
+                                               .action = FaultAction::kFlowEvicted,
+                                               .job = flow->job(),
+                                               .flow = flow->id(),
+                                               .value = flow->remaining_bits()});
+    }
+    flow->set_path(FlowPath::kEps);
+    net_.eps().start_flow(*flow, [this](Flow& f) { on_flow_complete(f); });
+  }
+}
+
+void SimulationDriver::end_ocs_outage(const OcsOutageFault& outage) {
+  net_.end_ocs_outage();
+  if (cfg_.obs != nullptr) {
+    cfg_.obs->trace.record({.kind = TraceEventKind::kOcsOutage,
+                            .at = sim_.now(),
+                            .a = 0,
+                            .b = outage.dur.sec()});
+    cfg_.obs->decisions.record(FaultDecision{
+        .at = sim_.now(), .action = FaultAction::kOutageEnd});
   }
 }
 
@@ -453,6 +620,7 @@ void SimulationDriver::on_reduce_complete(Job& job, Task& task) {
   remove_running(task.rack(), task);
   cluster_.release_slot(task.rack(), task.node());
   trem_.forget(task.id());
+  if (faults_.has_container_kill()) completion_events_.erase(task.id());
   job.note_reduce_completed();
   if (job.work_done()) finish_job(job);
   request_dispatch();

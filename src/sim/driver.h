@@ -35,6 +35,7 @@
 #include "cluster/trem_estimator.h"
 #include "coflow/sunflow.h"
 #include "common/rng.h"
+#include "faults/fault_injector.h"
 #include "metrics/metrics.h"
 #include "net/network.h"
 #include "sched/scheduler.h"
@@ -52,8 +53,12 @@ struct SimConfig {
   /// Hadoop's default is 0.05 — the conventional overlap whose container
   /// waste Section IV-A of the paper criticizes.
   double reduce_slowstart = 0.05;
-  /// T_rem estimation error rate (Figure 7's knob).
+  /// T_rem estimation error rate (Figure 7's knob). A `trem-noise` clause
+  /// in `faults` overrides this.
   double trem_error_rate = 0.0;
+  /// Fault-injection plan (src/faults/fault_spec.h). The default — an empty
+  /// plan — injects nothing and leaves the run bit-for-bit unchanged.
+  FaultPlan faults;
   std::uint64_t seed = 1;
   /// Optional tracing/counters/decision-log bundle (must outlive the
   /// driver). Null — the default — records nothing and costs ~nothing.
@@ -86,6 +91,18 @@ class SimulationDriver : public AvailabilityOracle {
   void on_map_complete(Job& job, Task& task);
   void on_reduce_complete(Job& job, Task& task);
 
+  // ----- fault injection ----------------------------------------------------
+  /// Per-attempt fault draws for a just-placed task: straggle factor and,
+  /// when configured, a kill timer strictly inside the attempt. No-op (and
+  /// draw-free) for fault families not in the plan.
+  void apply_attempt_faults(Job& job, Task& task);
+  /// A container-kill timer fired: free the container, roll the task back
+  /// to pending (its next attempt redraws faults), and undo the placement
+  /// accounting so schedulers re-grant it — including OCAS's reduce plan.
+  void on_task_killed(Job& job, Task& task);
+  void begin_ocs_outage(const OcsOutageFault& outage);
+  void end_ocs_outage(const OcsOutageFault& outage);
+
   /// Materialize shuffle demand for every placed-but-undemanded reduce of
   /// `job` (idempotent; requires all maps done). The single entry point
   /// for overlap-mode releases, defer-mode whole-coflow releases, and the
@@ -114,6 +131,7 @@ class SimulationDriver : public AvailabilityOracle {
   Cluster cluster_;
   Rng rng_;
   TremEstimator trem_;
+  FaultInjector faults_;
 
   IdAllocator<TaskId> task_ids_;
   IdAllocator<FlowId> flow_ids_;
@@ -127,6 +145,10 @@ class SimulationDriver : public AvailabilityOracle {
   /// Reduce tasks per (job, rack) whose demand is already in the coflow:
   /// a flat per-rack vector (indexed by rack) per job, erased with the job.
   std::unordered_map<JobId, std::vector<std::int32_t>> demanded_;
+  /// Task-completion events that a container kill may need to cancel.
+  /// Populated only when the plan has container kills, so the common path
+  /// never stores handles.
+  std::unordered_map<TaskId, EventHandle> completion_events_;
   std::int64_t deadlock_breaks_ = 0;
 
   bool dispatch_scheduled_ = false;

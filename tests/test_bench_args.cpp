@@ -94,6 +94,28 @@ TEST(BenchArgsParse, RejectsNegativeThreads) {
   EXPECT_FALSE(parse({"--threads=two"}).has_value());
 }
 
+TEST(BenchArgsParse, ValidFaultSpecParses) {
+  const auto args = parse({"--faults=straggler:p=0.1:slow=2"});
+  ASSERT_TRUE(args.has_value());
+  ASSERT_TRUE(args->faults.straggler.has_value());
+  EXPECT_DOUBLE_EQ(args->faults.straggler->p, 0.1);
+  EXPECT_EQ(args->faults_spec, "straggler:p=0.1:slow=2");
+}
+
+TEST(BenchArgsParse, DefaultFaultPlanIsEmpty) {
+  const auto args = parse({});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_TRUE(args->faults.empty());
+  EXPECT_TRUE(args->faults_spec.empty());
+}
+
+TEST(BenchArgsParse, RejectsMalformedFaultSpec) {
+  std::string error;
+  EXPECT_FALSE(parse({"--faults=bogus:p=1"}, &error).has_value());
+  EXPECT_NE(error.find("--faults"), std::string::npos);
+  EXPECT_FALSE(parse({"--faults=straggler:p=2"}).has_value());
+}
+
 TEST(BenchArgsParse, RejectsUnknownFlag) {
   std::string error;
   EXPECT_FALSE(parse({"--bogus=1"}, &error).has_value());

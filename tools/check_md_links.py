@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Check relative links in the repo's Markdown files.
+
+Walks every ``*.md`` under the repository root (skipping build trees and
+dot-directories), extracts inline links and images, and verifies that each
+*relative* target resolves to a file or directory that actually exists.
+External links (http/https/mailto) and pure in-page anchors (``#section``)
+are out of scope -- this tool exists so a rename like ``docs/FAULTS.md``
+cannot silently strand pointers in README/DESIGN/EXPERIMENTS.
+
+Exit status: 0 when every relative link resolves, 1 otherwise (with one
+``file:line: target`` diagnostic per broken link).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images: [text](target) / ![alt](target). Reference-style
+# definitions ([id]: target) are rare in this repo and intentionally ignored.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_SKIP_DIRS = {"build", "third_party", ".git", ".cache"}
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        rel = path.relative_to(root)
+        if any(part in _SKIP_DIRS or part.startswith(".") for part in rel.parts[:-1]):
+            continue
+        yield path
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    errors = []
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        for match in _LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            # Drop a trailing #fragment; anchor existence is not checked.
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            resolved = (path.parent / target_path).resolve()
+            try:
+                resolved.relative_to(root.resolve())
+            except ValueError:
+                errors.append(
+                    f"{path.relative_to(root)}:{lineno}: "
+                    f"{target} escapes the repository"
+                )
+                continue
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(root)}:{lineno}: {target}")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root", type=Path, default=Path(__file__).resolve().parent.parent,
+        help="repository root to scan (default: the tool's parent repo)")
+    args = parser.parse_args()
+
+    broken: list[str] = []
+    checked = 0
+    for md in iter_markdown_files(args.root):
+        checked += 1
+        broken.extend(check_file(md, args.root))
+
+    if broken:
+        print(f"Broken relative links ({len(broken)}):", file=sys.stderr)
+        for err in broken:
+            print(f"  {err}", file=sys.stderr)
+        return 1
+    print(f"OK: all relative links resolve across {checked} Markdown files.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
