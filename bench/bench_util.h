@@ -13,6 +13,11 @@
 //                src/faults/fault_spec.h for the grammar, docs/FAULTS.md
 //                for the model), e.g.
 //                --faults=straggler:p=0.05:slow=2,ocs-outage:at=300s:dur=60s
+//   --audit / --no-audit
+//                enable/disable the runtime invariant auditor (see
+//                src/audit/). Default: on in Debug builds, off in Release.
+//                Audited runs are bit-for-bit identical to unaudited ones;
+//                the auditor only observes.
 // and prints one table per figure panel, with values normalized exactly the
 // way the paper normalizes them (to the Fair scheduler unless stated).
 //
@@ -41,10 +46,15 @@
 namespace cosched::bench {
 
 /// Strict decimal parse of a whole C string into [min_value, max_value];
-/// rejects empty input, any trailing characters, and overflow.
+/// rejects empty input, any trailing characters, and overflow. The first
+/// character must be a digit or '-': strtoll itself skips leading
+/// whitespace and accepts '+', which would let " 5" or "+5" through a
+/// parser documented as strict.
 inline bool parse_int32(const char* s, std::int32_t min_value,
                         std::int32_t max_value, std::int32_t* out) {
   if (s == nullptr || *s == '\0') return false;
+  const char* digits = (*s == '-') ? s + 1 : s;
+  if (*digits < '0' || *digits > '9') return false;
   errno = 0;
   char* end = nullptr;
   const long long v = std::strtoll(s, &end, 10);
@@ -54,9 +64,13 @@ inline bool parse_int32(const char* s, std::int32_t min_value,
   return true;
 }
 
-/// Strict decimal parse of a whole C string into a uint64 (no leading '-').
+/// Strict decimal parse of a whole C string into a uint64. The first
+/// character must be a digit: besides whitespace/'+' laundering, strtoull
+/// parses a *negative* number by wrapping it into range without setting
+/// ERANGE, so " -1" would sail through the old '-' prefix check (which the
+/// skipped whitespace defeated) and come back as 18446744073709551615.
 inline bool parse_uint64(const char* s, std::uint64_t* out) {
-  if (s == nullptr || *s == '\0' || *s == '-') return false;
+  if (s == nullptr || *s < '0' || *s > '9') return false;
   errno = 0;
   char* end = nullptr;
   const unsigned long long v = std::strtoull(s, &end, 10);
@@ -78,6 +92,9 @@ struct BenchArgs {
   /// absent), plus the original spec string for display.
   FaultPlan faults;
   std::string faults_spec;
+  /// Runtime invariant auditor (--audit / --no-audit). Defaults on in
+  /// Debug builds and off in Release, matching SimConfig.
+  bool audit = kAuditDefaultOn;
 
   [[nodiscard]] bool observing() const {
     return !trace_out.empty() || !counters_out.empty();
@@ -148,6 +165,10 @@ struct BenchArgs {
         args.counters_out = counters;
       } else if (a == "--profile") {
         args.profile = true;
+      } else if (a == "--audit") {
+        args.audit = true;
+      } else if (a == "--no-audit") {
+        args.audit = false;
       } else if (a == "--help" || a == "-h") {
         *help = true;
         return args;
@@ -164,8 +185,9 @@ struct BenchArgs {
         "usage: %s [--reps=N] [--jobs=N (paper: 1000)] [--seed=N]\n"
         "          [--threads=N (0 = all hardware threads)]\n"
         "          [--faults=SPEC (see docs/FAULTS.md)]\n"
+        "          [--audit | --no-audit (invariant auditor; default %s)]\n"
         "          [--trace-out=PATH] [--counters-out=PATH] [--profile]\n",
-        prog);
+        prog, kAuditDefaultOn ? "on" : "off");
   }
 
   static BenchArgs parse(int argc, char** argv) {
@@ -201,6 +223,7 @@ inline ExperimentConfig paper_config(const BenchArgs& args) {
   cfg.repetitions = args.reps;
   cfg.base_seed = args.seed;
   cfg.sim.faults = args.faults;
+  cfg.sim.audit = args.audit;
   return cfg;
 }
 

@@ -1,0 +1,153 @@
+// InvariantAuditor: a passive runtime checker the driver reports into at
+// well-defined sync points. It re-derives the bookkeeping the simulation
+// depends on — byte ledgers, container ledgers, OCS port state, event-queue
+// shape, scheduler contracts — from an independent shadow copy and aborts
+// with a structured dump on the first divergence.
+//
+// Design constraints (see DESIGN.md §8):
+//   * Strictly passive: the auditor never schedules events, never draws
+//     from any RNG, and never mutates model state. An audited run is
+//     bit-for-bit identical to an unaudited one; only the failure mode
+//     changes (structured AuditFailure instead of silent corruption).
+//   * Always compiled, flag-enabled: SimConfig::audit (default on in Debug
+//     builds, off in Release; benches expose --audit / --no-audit).
+//   * Cheap checks (one rack's slot ledger) run at every grant/release;
+//     O(racks) sweeps run at dispatch boundaries and outage edges; O(flows)
+//     conservation sweeps run at job completion and end of run.
+//
+// Checked invariants and their sync points:
+//   1. Byte conservation — for every flow, bits injected (its cumulative
+//      size, synced at route_flow) equal bits drained through EPS + local +
+//      OCS accounting plus bits still in flight, up to the documented
+//      sub-residual completion slack. Checked per job at finish (all of the
+//      job's flows complete with zero remainder) and globally at job
+//      finish, outage edges, and end of run.
+//   2. Container ledger — per rack, auditor-counted grants == cluster
+//      used_slots and granted + free == capacity; a task never runs
+//      without a grant and never holds two. Checked at every grant,
+//      release, and kill, plus full sweeps with check_light().
+//   3. OCS port exclusivity — at most one circuit per ingress/egress port,
+//      out/in port states symmetric, and no circuit activity (connected,
+//      reconfiguring, or mid-transfer) inside an outage window.
+//   4. Event-queue sanity — live-entry count matches the queue's ledger,
+//      no live event is scheduled before `now`, and compaction never drops
+//      a live handle (Simulator::queue_consistent()).
+//   5. Scheduler contracts — PSRT's installed reduce plan sums to the
+//      job's reduce count; every OCAS grant satisfies the predicate of the
+//      priority class it was logged under (class 1 grants have remaining
+//      plan capacity on the rack, class 2 grants are guideline-local maps,
+//      and so on).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/job.h"
+#include "coflow/sunflow.h"
+#include "common/check.h"
+#include "net/network.h"
+#include "simcore/simulator.h"
+
+namespace cosched {
+
+/// Thrown on the first invariant violation. Subclasses CheckFailure so
+/// existing CheckFailure handlers (tests, bench guards) also catch audit
+/// aborts; what() carries the structured dump.
+class AuditFailure : public CheckFailure {
+ public:
+  explicit AuditFailure(const std::string& what) : CheckFailure(what) {}
+};
+
+class InvariantAuditor {
+ public:
+  InvariantAuditor(const Simulator& sim, const Network& net,
+                   const Cluster& cluster, const SunflowScheduler& sunflow,
+                   const HybridTopology& topo);
+
+  InvariantAuditor(const InvariantAuditor&) = delete;
+  InvariantAuditor& operator=(const InvariantAuditor&) = delete;
+
+  // ----- driver sync points ------------------------------------------------
+  /// A container was granted (task already placed, before the job's
+  /// per-rack placement counters advance — so plan capacity is still
+  /// visible for the class-1 check). `grant_class` is the OCAS priority
+  /// class from TaskChoice (-1 for schedulers without classes).
+  void on_container_grant(const Job& job, const Task& task, RackId rack,
+                          std::int32_t grant_class);
+  /// A container was returned — task completion or kill rollback.
+  void on_container_release(const Job& job, const Task& task, RackId rack);
+  /// The scheduler finished its PSRT+SBS pass for `job` (plan installed or
+  /// deliberately absent).
+  void on_reduce_plan(const Job& job);
+  /// A flow was created, grew, or reopened in route_flow — the single
+  /// entry point where demand reaches a fabric. Syncs the flow's size into
+  /// the injected ledger.
+  void on_flow_routed(const Job& job, const Flow& flow);
+  /// A flow drained (driver-level completion callback).
+  void on_flow_completed(const Flow& flow);
+  /// An OCS outage window opened (called after Sunflow eviction) / closed.
+  void on_outage_begin();
+  void on_outage_end();
+  /// A job completed: per-job conservation plus a global heavy check.
+  void on_job_finished(const Job& job);
+
+  // ----- check passes ------------------------------------------------------
+  /// O(racks) sweep: container ledger, OCS port exclusivity/symmetry,
+  /// outage quiet-window. Called at dispatch boundaries and outage edges.
+  void check_light();
+  /// check_light plus byte conservation over every tracked flow and the
+  /// event-queue consistency scan.
+  void check_heavy();
+  /// End-of-run: heavy check plus emptiness — no granted containers, no
+  /// incomplete tracked flow, no un-drained bits.
+  void final_check();
+
+  // ----- test hooks --------------------------------------------------------
+  /// Corrupt the injected-bytes ledger by `bits` without moving any real
+  /// bytes, so tests can prove a broken ledger is caught (the acceptance
+  /// criterion's "intentionally broken byte-ledger" hook).
+  void debug_inject_phantom_bits(double bits) { phantom_bits_ += bits; }
+
+  [[nodiscard]] std::int64_t checks_run() const { return checks_run_; }
+  [[nodiscard]] std::size_t tracked_flows() const { return flows_.size(); }
+
+ private:
+  struct FlowLedger {
+    const Flow* flow = nullptr;
+    JobId job = JobId::invalid();
+    /// Cumulative demand routed into a fabric for this flow, in bits.
+    double injected_bits = 0.0;
+  };
+
+  [[noreturn]] void fail(const std::string& check,
+                         const std::string& detail) const;
+  void check_rack_ledger(RackId rack) const;
+  void check_ocs_ports() const;
+  void check_conservation() const;
+
+  const Simulator& sim_;
+  const Network& net_;
+  const Cluster& cluster_;
+  const SunflowScheduler& sunflow_;
+  const HybridTopology& topo_;
+
+  // Shadow container ledger.
+  std::vector<std::int64_t> granted_;
+  std::unordered_map<TaskId, RackId> running_tasks_;
+
+  // Shadow byte ledger.
+  std::unordered_map<FlowId, FlowLedger> flows_;
+  std::unordered_map<JobId, double> job_injected_bits_;
+  double injected_bits_ = 0.0;
+  double phantom_bits_ = 0.0;
+  std::int64_t completed_flow_events_ = 0;
+
+  std::int32_t outage_depth_ = 0;
+  std::int64_t checks_run_ = 0;
+};
+
+}  // namespace cosched

@@ -48,8 +48,13 @@ void SunflowScheduler::demand_added(Flow& flow) {
   if (at.state == TransferState::kReconfiguring) {
     return;  // size grows before the transfer begins; nothing to re-plan
   }
-  // Settle what has drained so far, then re-plan the completion event.
-  flow.settle(sim_.now() - at.last_update);
+  // Settle what has drained so far, then re-plan the completion event. The
+  // settled bits are credited when the transfer ends (completion credits
+  // the whole flow; eviction credits the transfer), so track them both per
+  // transfer and in the scheduler-wide uncredited counter the auditor uses.
+  const double moved = flow.settle(sim_.now() - at.last_update);
+  at.settled_bits += moved;
+  uncredited_settled_bits_ += moved;
   at.last_update = sim_.now();
   flow.completion_event().cancel();
   const Duration eta = Duration::seconds(
@@ -80,7 +85,11 @@ std::vector<Flow*> SunflowScheduler::evict_all() {
   for (auto& [id, at] : active_) {
     Flow& flow = *at.flow;
     if (at.state == TransferState::kTransferring) {
-      const double moved = flow.settle(sim_.now() - at.last_update);
+      // Credit everything this transfer drained: the final settle plus any
+      // bits settled earlier at demand_added points (previously lost).
+      const double moved =
+          flow.settle(sim_.now() - at.last_update) + at.settled_bits;
+      uncredited_settled_bits_ -= at.settled_bits;
       if (moved > 0.0) net_.note_ocs_drained_bits(moved);
       flow.completion_event().cancel();
       flow.set_rate(Bandwidth::zero());
@@ -227,7 +236,15 @@ void SunflowScheduler::on_transfer_complete(FlowId id) {
   if (it == active_.end()) return;
   Flow& flow = *it->second.flow;
   net_.ocs().teardown_circuit(flow.src(), flow.dst());
-  net_.note_ocs_bytes(flow.size());
+  // Credit only what this flow has not been credited before: a flow whose
+  // demand reopened after an earlier OCS completion carries its first
+  // transfer in size(), and crediting the full size again would double-
+  // count it. Integer DataSize arithmetic, so the common single-completion
+  // case credits exactly size() as before.
+  DataSize& credited = credited_[id];
+  net_.note_ocs_bytes(flow.size() - credited);
+  credited = flow.size();
+  uncredited_settled_bits_ -= it->second.settled_bits;
   flow.mark_completed(sim_.now());
   active_.erase(it);
 

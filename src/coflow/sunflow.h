@@ -53,6 +53,15 @@ class SunflowScheduler : public CircuitScheduler {
   /// Attach tracing + decision logging; null (the default) disables both.
   void set_observability(Observability* obs) { obs_ = obs; }
 
+  /// Bits settled out of in-flight transfers (mid-transfer demand growth)
+  /// but not yet credited to the network's OCS accounting — completion
+  /// credits whole flows, so settled bits stay uncredited until the flow
+  /// completes or is evicted. The invariant auditor adds this term to its
+  /// conservation identity; zero whenever no transfer is mid-flight.
+  [[nodiscard]] double uncredited_settled_bits() const {
+    return uncredited_settled_bits_;
+  }
+
  private:
   enum class TransferState { kReconfiguring, kTransferring };
 
@@ -60,6 +69,10 @@ class SunflowScheduler : public CircuitScheduler {
     Flow* flow;
     TransferState state = TransferState::kReconfiguring;
     SimTime last_update = SimTime::zero();
+    /// Bits settled during this transfer before its completion/eviction
+    /// (demand_added settle points). Needed so eviction can credit the
+    /// whole transfer, not just the span since the last settle.
+    double settled_bits = 0.0;
   };
 
   struct CoflowEntry {
@@ -79,6 +92,12 @@ class SunflowScheduler : public CircuitScheduler {
   /// Coflow ids in priority order (priority, id) — deterministic.
   std::vector<CoflowId> order_;
   std::map<FlowId, ActiveTransfer> active_;
+  /// OCS bytes already credited per flow, so a flow that completes, gets
+  /// reopened by late demand, and rides the OCS again credits only the
+  /// delta on its second completion instead of double-counting the first
+  /// transfer (the size is cumulative).
+  std::map<FlowId, DataSize> credited_;
+  double uncredited_settled_bits_ = 0.0;
   bool pass_scheduled_ = false;
   Observability* obs_ = nullptr;
 };

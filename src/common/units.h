@@ -61,11 +61,15 @@ class Duration {
   friend constexpr Duration operator-(Duration a, Duration b) {
     return Duration{a.sec_ - b.sec_};
   }
+  // Scaling an infinite duration by zero (e.g. a timeout of
+  // Duration::infinity() times a zero retry count) must yield zero, not the
+  // NaN that IEEE inf * 0 produces — a NaN duration poisons every
+  // comparison downstream and evades the is_finite() guards.
   friend constexpr Duration operator*(Duration a, double k) {
-    return Duration{a.sec_ * k};
+    return Duration{(k == 0.0 || a.sec_ == 0.0) ? 0.0 : a.sec_ * k};
   }
   friend constexpr Duration operator*(double k, Duration a) {
-    return Duration{a.sec_ * k};
+    return Duration{(k == 0.0 || a.sec_ == 0.0) ? 0.0 : a.sec_ * k};
   }
   friend constexpr Duration operator/(Duration a, double k) {
     return Duration{a.sec_ / k};

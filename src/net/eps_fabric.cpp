@@ -345,7 +345,14 @@ void EpsFabric::on_completion_event(FlowId id) {
     // sub-nanosecond event can fail to advance the clock at all, which
     // would loop forever).
     const double rate = flow.rate().in_bits_per_sec();
-    COSCHED_CHECK(rate > 0.0);
+    if (rate <= 0.0) {
+      // Demand landed on a zero-byte flow within its creation instant: the
+      // immediate-completion event raced the replan that would assign a
+      // rate. Leave the flow to the (already requested, or re-requested
+      // here) replan, which re-plans its completion event too.
+      request_replan();
+      return;
+    }
     const double eta_sec = flow.remaining_bits() / rate;
     if (eta_sec > 1e-9) {
       const Duration eta = Duration::seconds(eta_sec);

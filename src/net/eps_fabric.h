@@ -72,6 +72,11 @@ class EpsFabric {
     return DataSize::bytes(static_cast<std::int64_t>(local_bits_ / 8.0));
   }
 
+  /// Exact drained-bit accumulators (no byte truncation), for the
+  /// invariant auditor's conservation identity.
+  [[nodiscard]] double eps_bits() const { return eps_bits_; }
+  [[nodiscard]] double local_bits() const { return local_bits_; }
+
   /// Bytes still to drain across all active flows, O(1) via an
   /// incrementally maintained accumulator (the settled view lags the fluid
   /// model by at most one replan interval).

@@ -57,6 +57,12 @@ class Network {
     return ocs_bytes_ +
            DataSize::bytes(static_cast<std::int64_t>(ocs_evicted_bits_ / 8.0));
   }
+  /// Exact drained OCS bits (no byte truncation), for the invariant
+  /// auditor's conservation identity.
+  [[nodiscard]] double ocs_bits_transferred() const {
+    return static_cast<double>(ocs_bytes_.in_bytes()) * 8.0 +
+           ocs_evicted_bits_;
+  }
   [[nodiscard]] DataSize eps_bytes_transferred() const {
     return eps_.eps_bytes_transferred();
   }

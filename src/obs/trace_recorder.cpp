@@ -150,6 +150,29 @@ void TraceRecorder::write_chrome_trace(std::ostream& os,
         emit(os, first, "deadlock_break", "sched", "i", ts, kDriverPid, 0,
              "\"total\":" + std::to_string(ev.a));
         break;
+      case TraceEventKind::kTaskStraggle:
+        emit(os, first, "straggle", "fault", "i", ts, job_pid(ev.job),
+             ev.task.value(),
+             "\"rack\":" + std::to_string(ev.src.value()) +
+                 ",\"slow\":" + std::to_string(ev.b));
+        break;
+      case TraceEventKind::kTaskKilled:
+        emit(os, first, ev.a == 0 ? "kill_map" : "kill_reduce", "fault", "i",
+             ts, job_pid(ev.job), ev.task.value(),
+             "\"rack\":" + std::to_string(ev.src.value()));
+        break;
+      case TraceEventKind::kOcsOutage:
+        emit(os, first, "ocs_outage", "fault", ev.a == 1 ? "B" : "E", ts,
+             kNetworkPid, 0,
+             ev.a == 1 ? "\"dur_sec\":" + std::to_string(ev.b) : "");
+        break;
+      case TraceEventKind::kFlowEvicted:
+        emit(os, first, "flow_evicted", "fault", "i", ts, kNetworkPid,
+             ev.src.value(),
+             "\"job\":" + std::to_string(ev.job.value()) +
+                 ",\"dst\":" + std::to_string(ev.dst.value()) +
+                 ",\"bits_left\":" + std::to_string(ev.b));
+        break;
     }
   }
 

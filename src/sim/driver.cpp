@@ -24,6 +24,11 @@ SimulationDriver::SimulationDriver(SimConfig cfg, std::vector<JobSpec> workload,
       running_by_rack_(static_cast<std::size_t>(cfg_.topo.num_racks)) {
   COSCHED_CHECK(scheduler_ != nullptr);
   cfg_.topo.validate();
+  net_.eps().set_rate_engine(cfg_.eps_engine);
+  if (cfg_.audit) {
+    audit_ = std::make_unique<InvariantAuditor>(sim_, net_, cluster_,
+                                                sunflow_, cfg_.topo);
+  }
   sunflow_.set_on_flow_complete([this](Flow& f) { on_flow_complete(f); });
   if (faults_.has_reconfig_jitter()) {
     net_.ocs().set_reconfig_delay_provider([this] {
@@ -115,6 +120,7 @@ RunMetrics SimulationDriver::run() {
                                  jobs_completed_
                           << " jobs incomplete and no recovery possible");
   }
+  if (audit_) audit_->final_check();
 
   RunMetrics m;
   m.scheduler = scheduler_->name();
@@ -224,6 +230,8 @@ void SimulationDriver::dispatch() {
     }
   }
 
+  if (audit_) audit_->check_light();
+
   // A scheduler may decline offers it could accept later without any
   // triggering event (delay scheduling waiting for locality). Re-offer on
   // a heartbeat, as YARN NodeManagers would.
@@ -266,6 +274,10 @@ void SimulationDriver::start_task(Job& job, Task& task, RackId rack,
                                              .is_map = is_map,
                                              .ocas_class = grant_class});
   }
+  // Audit before note_map_placed/note_reduce_placed advance the job's
+  // per-rack counters, so the class-1 check still sees the pre-grant plan
+  // capacity this grant was admitted against.
+  if (audit_) audit_->on_container_grant(job, task, rack, grant_class);
 
   if (task.kind() == TaskKind::kMap) {
     job.note_map_placed(rack);
@@ -329,6 +341,7 @@ void SimulationDriver::on_map_complete(Job& job, Task& task) {
   }
   remove_running(task.rack(), task);
   cluster_.release_slot(task.rack(), task.node());
+  if (audit_) audit_->on_container_release(job, task, task.rack());
   trem_.forget(task.id());
   if (faults_.has_container_kill()) completion_events_.erase(task.id());
   job.note_map_completed(task.rack(), job.spec().map_output_size());
@@ -336,6 +349,7 @@ void SimulationDriver::on_map_complete(Job& job, Task& task) {
   if (job.all_maps_done()) {
     SchedContext ctx = make_context();
     scheduler_->on_maps_completed(job, ctx);
+    if (audit_) audit_->on_reduce_plan(job);
     if (job.spec().num_reduces == 0) {
       finish_job(job);
     } else if (!scheduler_->defers_reduces()) {
@@ -397,6 +411,7 @@ void SimulationDriver::route_flow(Job& job, Flow& flow, bool created) {
                               .b = flow.size().in_gigabytes()});
     }
     flows_in_fabric_.insert(flow.id());
+    if (audit_) audit_->on_flow_routed(job, flow);
     if (flow.path() == FlowPath::kOcs) {
       sunflow_.submit(job.coflow(), flow);
     } else {
@@ -408,6 +423,7 @@ void SimulationDriver::route_flow(Job& job, Flow& flow, bool created) {
     // Demand grew while in flight; the path sticks (a flow that started
     // small on the EPS does not get promoted — exactly the aggregation
     // failure of overlapping schedulers the paper describes).
+    if (audit_) audit_->on_flow_routed(job, flow);
     if (flow.path() == FlowPath::kOcs) {
       sunflow_.demand_added(flow);
     } else {
@@ -422,6 +438,7 @@ void SimulationDriver::route_flow(Job& job, Flow& flow, bool created) {
     // re-fetch onto the EPS rather than queueing behind the outage.
     flow.set_path(FlowPath::kEps);
   }
+  if (audit_) audit_->on_flow_routed(job, flow);
   if (flow.path() == FlowPath::kOcs) {
     sunflow_.submit(job.coflow(), flow);
   } else {
@@ -430,6 +447,7 @@ void SimulationDriver::route_flow(Job& job, Flow& flow, bool created) {
 }
 
 void SimulationDriver::on_flow_complete(Flow& flow) {
+  if (audit_) audit_->on_flow_completed(flow);
   flows_in_fabric_.erase(flow.id());
   if (cfg_.obs != nullptr) {
     cfg_.obs->trace.record({.kind = TraceEventKind::kFlowComplete,
@@ -531,6 +549,7 @@ void SimulationDriver::on_task_killed(Job& job, Task& task) {
   }
   remove_running(rack, task);
   cluster_.release_slot(rack, task.node());
+  if (audit_) audit_->on_container_release(job, task, rack);
   trem_.forget(task.id());
   if (cfg_.obs != nullptr) {
     cfg_.obs->trace.record({.kind = TraceEventKind::kTaskKilled,
@@ -593,10 +612,12 @@ void SimulationDriver::begin_ocs_outage(const OcsOutageFault& outage) {
     flow->set_path(FlowPath::kEps);
     net_.eps().start_flow(*flow, [this](Flow& f) { on_flow_complete(f); });
   }
+  if (audit_) audit_->on_outage_begin();
 }
 
 void SimulationDriver::end_ocs_outage(const OcsOutageFault& outage) {
   net_.end_ocs_outage();
+  if (audit_) audit_->on_outage_end();
   if (cfg_.obs != nullptr) {
     cfg_.obs->trace.record({.kind = TraceEventKind::kOcsOutage,
                             .at = sim_.now(),
@@ -619,6 +640,7 @@ void SimulationDriver::on_reduce_complete(Job& job, Task& task) {
   }
   remove_running(task.rack(), task);
   cluster_.release_slot(task.rack(), task.node());
+  if (audit_) audit_->on_container_release(job, task, task.rack());
   trem_.forget(task.id());
   if (faults_.has_container_kill()) completion_events_.erase(task.id());
   job.note_reduce_completed();
@@ -629,6 +651,7 @@ void SimulationDriver::on_reduce_complete(Job& job, Task& task) {
 void SimulationDriver::finish_job(Job& job) {
   COSCHED_CHECK(!job.completed());
   job.mark_completed(sim_.now());
+  if (audit_) audit_->on_job_finished(job);
   if (cfg_.obs != nullptr) {
     cfg_.obs->trace.record({.kind = TraceEventKind::kJobComplete,
                             .at = sim_.now(),

@@ -30,6 +30,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "audit/invariant_auditor.h"
 #include "cluster/cluster.h"
 #include "cluster/job.h"
 #include "cluster/trem_estimator.h"
@@ -45,6 +46,16 @@
 namespace cosched {
 
 struct Observability;
+
+/// Whether SimConfig::audit defaults on: yes in Debug builds (and CI's
+/// sanitizer matrix), no in Release, where the paper-scale benches run.
+/// The auditor is always compiled either way — this only picks the default.
+inline constexpr bool kAuditDefaultOn =
+#ifdef NDEBUG
+    false;
+#else
+    true;
+#endif
 
 struct SimConfig {
   HybridTopology topo;
@@ -63,6 +74,14 @@ struct SimConfig {
   /// Optional tracing/counters/decision-log bundle (must outlive the
   /// driver). Null — the default — records nothing and costs ~nothing.
   Observability* obs = nullptr;
+  /// Runtime invariant auditor (src/audit/): byte conservation, container
+  /// ledger, OCS port exclusivity, event-queue sanity, scheduler contracts.
+  /// Purely observational — audited runs are bit-for-bit identical to
+  /// unaudited ones; a violation aborts with a structured dump.
+  bool audit = kAuditDefaultOn;
+  /// Which EPS rate engine computes max-min shares. kGrouped is the
+  /// production fast path; the fuzzer cross-checks it against kReference.
+  EpsFabric::RateEngine eps_engine = EpsFabric::RateEngine::kGrouped;
 };
 
 class SimulationDriver : public AvailabilityOracle {
@@ -72,6 +91,10 @@ class SimulationDriver : public AvailabilityOracle {
 
   /// Run the whole workload to completion and collect the metrics.
   RunMetrics run();
+
+  /// The invariant auditor, or null when cfg.audit is false. Exposed for
+  /// the audit tests (checks_run, debug_inject_phantom_bits).
+  [[nodiscard]] InvariantAuditor* auditor() { return audit_.get(); }
 
   // AvailabilityOracle: estimated delay until `count` containers are free
   // simultaneously on `rack` (free now => zero).
@@ -132,6 +155,9 @@ class SimulationDriver : public AvailabilityOracle {
   Rng rng_;
   TremEstimator trem_;
   FaultInjector faults_;
+  /// Null unless cfg.audit — every hook call is `if (audit_)`-guarded, so
+  /// the unaudited hot path pays one branch per sync point.
+  std::unique_ptr<InvariantAuditor> audit_;
 
   IdAllocator<TaskId> task_ids_;
   IdAllocator<FlowId> flow_ids_;

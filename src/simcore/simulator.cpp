@@ -81,8 +81,26 @@ void Simulator::compact() {
                              }),
               heap_.end());
   std::make_heap(heap_.begin(), heap_.end(), detail::FiresLater{});
+  // Every surviving entry is live and every live event has exactly one
+  // entry, so a size mismatch here means a live handle was dropped.
+  COSCHED_CHECK_MSG(heap_.size() == static_cast<std::size_t>(live_),
+                    "compaction dropped a live event: " << heap_.size()
+                                                        << " entries vs "
+                                                        << live_ << " live");
   tombstones_ = 0;
   ++compactions_;
+}
+
+bool Simulator::queue_consistent() const {
+  std::size_t live_entries = 0;
+  for (const detail::HeapEntry& e : heap_) {
+    if (slab_[e.slot].gen != e.gen) continue;
+    ++live_entries;
+    if (e.when < now_) return false;
+  }
+  if (live_entries != static_cast<std::size_t>(live_)) return false;
+  if (heap_.size() - live_entries != tombstones_) return false;
+  return true;
 }
 
 }  // namespace cosched

@@ -136,6 +136,12 @@ class Simulator {
     return compactions_;
   }
 
+  /// O(queue) consistency scan for the invariant auditor: every live heap
+  /// entry's generation matches its slot, the live-entry count matches the
+  /// ledger, stale entries match the tombstone count, and no live event is
+  /// scheduled before `now`. True on a consistent queue.
+  [[nodiscard]] bool queue_consistent() const;
+
  private:
   friend class EventHandle;
 

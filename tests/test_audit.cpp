@@ -1,0 +1,217 @@
+// The runtime invariant auditor (ctest -L audit): clean runs across
+// schedulers and fault plans pass every check, a deliberately corrupted
+// byte ledger is caught with a structured dump, audited runs are
+// bit-for-bit identical to unaudited ones, and the event-queue consistency
+// scan holds under cancel/compaction churn.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "audit/invariant_auditor.h"
+#include "faults/fault_spec.h"
+#include "sched/coscheduler.h"
+#include "sched/fair.h"
+#include "sim/driver.h"
+#include "sim/experiment.h"
+
+namespace cosched {
+namespace {
+
+FaultPlan parse_plan(const std::string& spec) {
+  std::string error;
+  const std::optional<FaultPlan> plan = FaultPlan::parse(spec, &error);
+  EXPECT_TRUE(plan.has_value()) << spec << ": " << error;
+  return plan.value_or(FaultPlan{});
+}
+
+/// A small cluster + workload big enough to exercise both fabrics, plan
+/// installs, and container churn, small enough to run in milliseconds.
+ExperimentConfig small_config(std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.sim.topo.num_racks = 10;
+  cfg.sim.topo.servers_per_rack = 2;
+  cfg.sim.topo.slots_per_server = 10;
+  cfg.workload.num_jobs = 14;
+  cfg.workload.num_users = 4;
+  cfg.workload.arrival_window = Duration::minutes(3);
+  cfg.workload.max_maps = 50;
+  cfg.workload.max_reduces = 8;
+  cfg.workload.heavy_input_mu = 2.5;
+  cfg.workload.heavy_input_sigma = 0.8;
+  cfg.workload.max_input = DataSize::gigabytes(40);
+  cfg.repetitions = 1;
+  cfg.base_seed = seed;
+  cfg.sim.audit = true;
+  return cfg;
+}
+
+JobSpec shuffle_job(std::int64_t id, std::int32_t maps, std::int32_t reduces,
+                    double input_gb, double sir) {
+  JobSpec s;
+  s.id = JobId{id};
+  s.user = UserId{0};
+  s.num_maps = maps;
+  s.num_reduces = reduces;
+  s.input_size = DataSize::gigabytes(input_gb);
+  s.sir = sir;
+  s.map_durations.assign(static_cast<std::size_t>(maps),
+                         Duration::seconds(5));
+  s.reduce_durations.assign(static_cast<std::size_t>(reduces),
+                            Duration::seconds(5));
+  return s;
+}
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+// ---- clean runs across schedulers and fault plans --------------------------
+
+TEST(Audit, CleanRunsPassAcrossSchedulers) {
+  const ExperimentConfig cfg = small_config(101);
+  for (const std::string name :
+       {"fair", "corral", "coscheduler", "mts+ocas", "ocas"}) {
+    const SchedulerFactory factory = make_scheduler_factory(name);
+    EXPECT_NO_THROW((void)run_once(cfg, factory, 0)) << name;
+  }
+}
+
+TEST(Audit, CleanRunsPassUnderFullFaultPlan) {
+  ExperimentConfig cfg = small_config(202);
+  cfg.sim.faults = parse_plan(
+      "straggler:p=0.2:slow=2,container-kill:p=0.1,"
+      "ocs-outage:at=40s:dur=30s,reconfig-jitter:pct=50,trem-noise:pct=20");
+  for (const std::string name : {"fair", "coscheduler"}) {
+    const SchedulerFactory factory = make_scheduler_factory(name);
+    EXPECT_NO_THROW((void)run_once(cfg, factory, 0)) << name;
+  }
+}
+
+TEST(Audit, AuditorActuallyRanAndDrainedItsLedgers) {
+  SimConfig cfg;
+  cfg.topo.num_racks = 6;
+  cfg.topo.servers_per_rack = 2;
+  cfg.topo.slots_per_server = 4;
+  cfg.audit = true;
+  auto jobs = std::vector<JobSpec>{shuffle_job(0, 4, 3, 8.0, 1.0)};
+  SimulationDriver driver(cfg, jobs, std::make_unique<CoScheduler>());
+  ASSERT_NE(driver.auditor(), nullptr);
+  (void)driver.run();
+  EXPECT_GT(driver.auditor()->checks_run(), 0);
+  EXPECT_GT(driver.auditor()->tracked_flows(), 0u);
+}
+
+TEST(Audit, DisabledConfigHasNoAuditor) {
+  SimConfig cfg;
+  cfg.topo.num_racks = 4;
+  cfg.topo.servers_per_rack = 1;
+  cfg.topo.slots_per_server = 4;
+  cfg.audit = false;
+  auto jobs = std::vector<JobSpec>{shuffle_job(0, 2, 0, 1.0, 0.0)};
+  SimulationDriver driver(cfg, jobs, std::make_unique<FairScheduler>());
+  EXPECT_EQ(driver.auditor(), nullptr);
+  EXPECT_NO_THROW((void)driver.run());
+}
+
+// ---- the auditor is passive: audit on == audit off, bit for bit ------------
+
+TEST(Audit, AuditedRunIsBitIdenticalToUnaudited) {
+  ExperimentConfig on = small_config(303);
+  on.sim.faults = parse_plan("container-kill:p=0.1,ocs-outage:at=30s:dur=20s");
+  ExperimentConfig off = on;
+  off.sim.audit = false;
+  for (const std::string name : {"fair", "coscheduler"}) {
+    const SchedulerFactory factory = make_scheduler_factory(name);
+    const RunMetrics a = run_once(on, factory, 0);
+    const RunMetrics b = run_once(off, factory, 0);
+    EXPECT_EQ(bits(a.makespan.sec()), bits(b.makespan.sec())) << name;
+    EXPECT_EQ(a.ocs_bytes.in_bytes(), b.ocs_bytes.in_bytes()) << name;
+    EXPECT_EQ(a.eps_bytes.in_bytes(), b.eps_bytes.in_bytes()) << name;
+    EXPECT_EQ(a.local_bytes.in_bytes(), b.local_bytes.in_bytes()) << name;
+    EXPECT_EQ(a.events_executed, b.events_executed) << name;
+    ASSERT_EQ(a.jobs.size(), b.jobs.size()) << name;
+    for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+      EXPECT_EQ(bits(a.jobs[j].jct.sec()), bits(b.jobs[j].jct.sec()))
+          << name << " job#" << j;
+      EXPECT_EQ(bits(a.jobs[j].cct.sec()), bits(b.jobs[j].cct.sec()))
+          << name << " job#" << j;
+    }
+  }
+}
+
+// ---- a broken ledger is caught with a structured dump ----------------------
+
+TEST(Audit, PhantomBytesAreCaughtWithStructuredDump) {
+  SimConfig cfg;
+  cfg.topo.num_racks = 6;
+  cfg.topo.servers_per_rack = 2;
+  cfg.topo.slots_per_server = 4;
+  cfg.audit = true;
+  auto jobs = std::vector<JobSpec>{shuffle_job(0, 4, 3, 8.0, 1.0)};
+  SimulationDriver driver(cfg, jobs, std::make_unique<CoScheduler>());
+  ASSERT_NE(driver.auditor(), nullptr);
+  // Claim a gigabit was injected that no fabric will ever drain: the first
+  // heavy conservation check (job finish) must abort the run.
+  driver.auditor()->debug_inject_phantom_bits(1e9);
+  try {
+    (void)driver.run();
+    FAIL() << "corrupted byte ledger was not caught";
+  } catch (const AuditFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("INVARIANT AUDIT FAILURE"), std::string::npos) << what;
+    EXPECT_NE(what.find("byte-conservation"), std::string::npos) << what;
+    EXPECT_NE(what.find("sim time"), std::string::npos) << what;
+    EXPECT_NE(what.find("container ledger"), std::string::npos) << what;
+    EXPECT_NE(what.find("byte ledger"), std::string::npos) << what;
+  }
+}
+
+TEST(Audit, PhantomBitsBelowToleranceAreAccepted) {
+  // The slack exists so sub-residual completion residue never false-alarms;
+  // a corruption inside the documented tolerance is by design invisible.
+  SimConfig cfg;
+  cfg.topo.num_racks = 6;
+  cfg.topo.servers_per_rack = 2;
+  cfg.topo.slots_per_server = 4;
+  cfg.audit = true;
+  auto jobs = std::vector<JobSpec>{shuffle_job(0, 4, 3, 8.0, 1.0)};
+  SimulationDriver driver(cfg, jobs, std::make_unique<CoScheduler>());
+  driver.auditor()->debug_inject_phantom_bits(1.0);
+  EXPECT_NO_THROW((void)driver.run());
+}
+
+TEST(Audit, AuditFailureIsACheckFailure) {
+  // Callers with existing CheckFailure handlers also catch audit aborts.
+  const AuditFailure f("boom");
+  const CheckFailure* base = &f;
+  EXPECT_STREQ(base->what(), "boom");
+}
+
+// ---- event-queue consistency under churn -----------------------------------
+
+TEST(Audit, QueueConsistentThroughCancelAndCompactionChurn) {
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      handles.push_back(sim.schedule_after(
+          Duration::seconds(1.0 + round + 0.01 * i), [] {}));
+    }
+    // Cancel two of every three handles (re-cancelling is a no-op): with a
+    // majority of the heap tombstoned, the queue must compact mid-churn.
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      if (i % 3 != 0) handles[i].cancel();
+    }
+    ASSERT_TRUE(sim.queue_consistent()) << "round " << round;
+    sim.run_until(SimTime::seconds(round + 0.5));
+    ASSERT_TRUE(sim.queue_consistent()) << "round " << round;
+  }
+  sim.run();
+  EXPECT_TRUE(sim.queue_consistent());
+  EXPECT_GT(sim.queue_compactions(), 0);
+}
+
+}  // namespace
+}  // namespace cosched

@@ -147,5 +147,54 @@ TEST(ParseHelpers, ParseInt32Bounds) {
   EXPECT_FALSE(parse_int32("5.0", 1, 10, &v));
 }
 
+TEST(ParseHelpers, ParseInt32RejectsStrtolLaundering) {
+  // strtol silently skips leading whitespace and accepts '+'; a strict flag
+  // value starts with a digit or '-' and nothing else.
+  std::int32_t v = 0;
+  EXPECT_FALSE(parse_int32(" 5", 1, 10, &v));
+  EXPECT_FALSE(parse_int32("+5", 1, 10, &v));
+  EXPECT_FALSE(parse_int32("\t5", 1, 10, &v));
+  EXPECT_TRUE(parse_int32("-3", -10, 10, &v));
+  EXPECT_EQ(v, -3);
+}
+
+TEST(ParseHelpers, ParseUint64RejectsNegativeWraparound) {
+  // Regression: strtoull converts " -1" to 18446744073709551615 without
+  // setting ERANGE, so a negative seed used to launder itself into a huge
+  // valid one. The first character must now be a digit.
+  std::uint64_t v = 0;
+  EXPECT_FALSE(parse_uint64("-1", &v));
+  EXPECT_FALSE(parse_uint64(" -1", &v));
+  EXPECT_FALSE(parse_uint64(" 5", &v));
+  EXPECT_FALSE(parse_uint64("+5", &v));
+  EXPECT_TRUE(parse_uint64("5", &v));
+  EXPECT_EQ(v, 5u);
+  // Genuine overflow still reports failure via ERANGE.
+  EXPECT_FALSE(parse_uint64("99999999999999999999", &v));
+}
+
+TEST(BenchArgsParse, RejectsNegativeSeedInsteadOfWrapping) {
+  std::string error;
+  EXPECT_FALSE(parse({"--seed=-1"}, &error).has_value());
+  EXPECT_NE(error.find("--seed"), std::string::npos);
+  EXPECT_FALSE(parse({"--seed=+7"}).has_value());
+}
+
+TEST(BenchArgsParse, AuditFlagToggles) {
+  const auto defaults = parse({});
+  ASSERT_TRUE(defaults.has_value());
+  EXPECT_EQ(defaults->audit, kAuditDefaultOn);
+
+  const auto on = parse({"--audit"});
+  ASSERT_TRUE(on.has_value());
+  EXPECT_TRUE(on->audit);
+  EXPECT_TRUE(paper_config(*on).sim.audit);
+
+  const auto off = parse({"--no-audit"});
+  ASSERT_TRUE(off.has_value());
+  EXPECT_FALSE(off->audit);
+  EXPECT_FALSE(paper_config(*off).sim.audit);
+}
+
 }  // namespace
 }  // namespace cosched::bench

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <vector>
@@ -38,6 +39,23 @@ TEST(Units, DurationArithmetic) {
   EXPECT_LT(b, a);
   EXPECT_TRUE(Duration::infinity() > a);
   EXPECT_FALSE(Duration::infinity().is_finite());
+}
+
+TEST(Units, InfiniteDurationTimesZeroIsZero) {
+  // IEEE inf * 0 is NaN, which compares false against everything and slips
+  // past is_finite() guards; the scaling operators define it as zero so an
+  // unreachable deadline scaled by a zero factor stays an honest zero.
+  EXPECT_DOUBLE_EQ((Duration::infinity() * 0.0).sec(), 0.0);
+  EXPECT_DOUBLE_EQ((0.0 * Duration::infinity()).sec(), 0.0);
+  EXPECT_DOUBLE_EQ((Duration::zero() *
+                    std::numeric_limits<double>::infinity()).sec(), 0.0);
+  EXPECT_DOUBLE_EQ((std::numeric_limits<double>::infinity() *
+                    Duration::zero()).sec(), 0.0);
+  // Untouched cases keep their usual semantics.
+  EXPECT_FALSE((Duration::infinity() * 2.0).is_finite());
+  EXPECT_FALSE((2.0 * Duration::infinity()).is_finite());
+  EXPECT_DOUBLE_EQ((Duration::seconds(3.0) * 0.0).sec(), 0.0);
+  EXPECT_DOUBLE_EQ((Duration::seconds(2.0) * 1.5).sec(), 3.0);
 }
 
 TEST(Units, SimTimeAndDurationInterplay) {

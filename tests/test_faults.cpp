@@ -14,6 +14,7 @@
 #include "cluster/job.h"
 #include "faults/fault_injector.h"
 #include "faults/fault_spec.h"
+#include "obs/observability.h"
 #include "sim/experiment.h"
 
 namespace cosched {
@@ -429,6 +430,65 @@ TEST(FaultRuns, OcsOutageFallsBackToEpsWithoutLosingBytes) {
   EXPECT_LT(b.ocs_bytes.in_bytes(), a.ocs_bytes.in_bytes());
   EXPECT_GT(b.eps_bytes.in_bytes(), a.eps_bytes.in_bytes());
   EXPECT_GE(b.makespan.sec(), a.makespan.sec());
+}
+
+// A killed-reduce rollback and an OCS outage eviction in the same sim tick:
+// the hardest interleaving for the container and byte ledgers, since the
+// rollback un-places a task while the eviction re-routes its job's flows.
+// Probe a kill-only run for the exact instant of the first reduce kill,
+// then pin an outage to that instant. Fault families draw from independent
+// RNG streams, so adding the outage family leaves the kill schedule of the
+// identical prefix untouched; the outage events are scheduled at run()
+// start and thus carry lower sequence numbers, so at the shared timestamp
+// the eviction fires first and the rollback lands inside the outage window.
+TEST(FaultRuns, ReduceKillAndOutageEvictionShareATick) {
+  ExperimentConfig cfg = small_config(77);
+  cfg.workload.shuffle_heavy_fraction = 1.0;  // elephants ride the OCS
+  cfg.repetitions = 1;
+  cfg.sim.faults = parse_ok("container-kill:p=0.3");
+  cfg.sim.audit = true;  // run the interleaving fully audited
+  const SchedulerFactory factory = make_scheduler_factory("coscheduler");
+
+  Observability probe_obs;
+  cfg.sim.obs = &probe_obs;
+  const RunMetrics probe = run_once(cfg, factory, 0);
+  ASSERT_GT(probe.faults.reduces_killed, 0);
+  SimTime kill_at = SimTime::zero();
+  bool found = false;
+  for (const FaultDecision& d : probe_obs.decisions.faults()) {
+    if (d.action == FaultAction::kKillReduce) {
+      kill_at = d.at;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+
+  ExperimentConfig faulty = cfg;
+  Observability obs;
+  faulty.sim.obs = &obs;
+  faulty.sim.faults.ocs_outages.push_back(
+      OcsOutageFault{kill_at, Duration::seconds(15)});
+  const RunMetrics b = run_once(faulty, factory, 0);
+  EXPECT_EQ(b.faults.ocs_outages, 1);
+  EXPECT_GT(b.faults.reduces_killed, 0);
+
+  bool outage_at_tick = false;
+  bool kill_at_tick = false;
+  for (const FaultDecision& d : obs.decisions.faults()) {
+    if (d.at == kill_at && d.action == FaultAction::kOutageBegin) {
+      outage_at_tick = true;
+    }
+    if (d.at == kill_at && d.action == FaultAction::kKillReduce) {
+      // The outage family must not have shifted the kill out of its tick.
+      kill_at_tick = true;
+    }
+  }
+  EXPECT_TRUE(outage_at_tick);
+  EXPECT_TRUE(kill_at_tick);
+  for (const JobRecord& job : b.jobs) {
+    EXPECT_GT(job.completion.sec(), 0.0);
+  }
 }
 
 }  // namespace

@@ -183,6 +183,81 @@ TEST(EpsFabric, ZeroByteFlowCompletesImmediately) {
   EXPECT_DOUBLE_EQ(f.completion_time().sec(), 0.0);
 }
 
+TEST(EpsFabric, ZeroByteFlowLeavesNoStaleGroup) {
+  // A zero-byte flow joins its (src,dst) group and completes via an
+  // immediate event; the completion must remove it from the group so no
+  // stale group survives with zero members.
+  Simulator sim;
+  EpsFabric eps(sim, small_topo());
+  FlowFixture fx;
+  Flow& f = fx.make(RackId{0}, RackId{1}, DataSize::zero());
+  f.set_path(FlowPath::kEps);
+  eps.start_flow(f, nullptr);
+  EXPECT_EQ(eps.active_flows(), 1u);
+  EXPECT_EQ(eps.active_groups(), 1u);
+  sim.run();
+  EXPECT_TRUE(f.completed());
+  EXPECT_EQ(eps.active_flows(), 0u);
+  EXPECT_EQ(eps.active_groups(), 0u);
+}
+
+TEST(EpsFabric, ZeroByteFlowGrownAtCreationInstantDoesNotCrash) {
+  // Regression: a zero-byte flow schedules an immediate completion event,
+  // and demand added within the same instant races that event — it fires
+  // before the replan has assigned the flow a rate. The fabric must defer
+  // to the replan instead of tripping a rate>0 check, and the flow must
+  // still complete with the right byte count.
+  Simulator sim;
+  EpsFabric eps(sim, small_topo());
+  FlowFixture fx;
+  Flow& f = fx.make(RackId{0}, RackId{1}, DataSize::zero());
+  f.set_path(FlowPath::kEps);
+  eps.start_flow(f, nullptr);
+  // Same-instant growth: the immediate completion event is already queued
+  // with a lower sequence number than any replan this triggers.
+  f.add_demand(DataSize::gigabytes(1.25));
+  eps.demand_added(f);
+  sim.run();
+  EXPECT_TRUE(f.completed());
+  EXPECT_NEAR(f.completion_time().sec(), 1.0, 1e-9);
+  EXPECT_EQ(eps.active_flows(), 0u);
+  EXPECT_EQ(eps.active_groups(), 0u);
+  EXPECT_NEAR(eps.eps_bytes_transferred().in_gigabytes(), 1.25, 1e-6);
+}
+
+TEST(EpsFabric, GroupEmptyingMidChurnLeavesNoStaleCount) {
+  // Flows on the same rack pair share one group. Finishing them at
+  // different times — with new same-pair flows arriving in between — must
+  // keep the group count in lockstep with the live pair set.
+  Simulator sim;
+  EpsFabric eps(sim, small_topo());
+  FlowFixture fx;
+  Flow& a = fx.make(RackId{0}, RackId{1}, DataSize::gigabytes(0.625));
+  Flow& b = fx.make(RackId{0}, RackId{1}, DataSize::gigabytes(1.25));
+  Flow& c = fx.make(RackId{2}, RackId{3}, DataSize::gigabytes(1.25));
+  for (Flow* f : {&a, &b, &c}) f->set_path(FlowPath::kEps);
+  eps.start_flow(a, nullptr);
+  eps.start_flow(b, nullptr);
+  eps.start_flow(c, nullptr);
+  EXPECT_EQ(eps.active_groups(), 2u);
+  // After (0,1) drains, start another (0,1) flow plus a zero-byte one that
+  // vanishes within its creation instant.
+  sim.schedule_at(SimTime::seconds(3.0), [&] {
+    EXPECT_EQ(eps.active_groups(), 0u);
+    Flow& d = fx.make(RackId{0}, RackId{1}, DataSize::gigabytes(1.25));
+    Flow& z = fx.make(RackId{0}, RackId{1}, DataSize::zero());
+    d.set_path(FlowPath::kEps);
+    z.set_path(FlowPath::kEps);
+    eps.start_flow(d, nullptr);
+    eps.start_flow(z, nullptr);
+    EXPECT_EQ(eps.active_groups(), 1u);
+  });
+  sim.run();
+  for (const auto& f : fx.flows) EXPECT_TRUE(f->completed());
+  EXPECT_EQ(eps.active_flows(), 0u);
+  EXPECT_EQ(eps.active_groups(), 0u);
+}
+
 TEST(EpsFabric, DemandAddedExtendsTransfer) {
   Simulator sim;
   EpsFabric eps(sim, small_topo());

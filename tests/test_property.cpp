@@ -100,9 +100,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("fair", "corral", "delay",
                                          "coscheduler", "mts+ocas", "ocas"),
                        ::testing::Values(1ULL, 7ULL, 1234ULL)),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      std::string name = std::get<0>(info.param) + "_seed" +
-                         std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<Param>& p) {
+      std::string name =
+          std::get<0>(p.param) + "_seed" + std::to_string(std::get<1>(p.param));
       for (char& c : name) {
         if (c == '+') c = '_';
       }
@@ -145,9 +145,9 @@ INSTANTIATE_TEST_SUITE_P(
     ClusterShapes, TopologyProperty,
     ::testing::Combine(::testing::Values(4, 9, 24, 60),
                        ::testing::Values(3.0, 10.0, 20.0)),
-    [](const ::testing::TestParamInfo<TopoParam>& info) {
-      return "racks" + std::to_string(std::get<0>(info.param)) + "_oversub" +
-             std::to_string(static_cast<int>(std::get<1>(info.param)));
+    [](const ::testing::TestParamInfo<TopoParam>& p) {
+      return "racks" + std::to_string(std::get<0>(p.param)) + "_oversub" +
+             std::to_string(static_cast<int>(std::get<1>(p.param)));
     });
 
 /// Deferral semantics: Co-scheduler never grants a reduce container before
