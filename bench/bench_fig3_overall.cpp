@@ -8,12 +8,15 @@
 // average JCT by 54.6% / 33.8%, and average CCT by 73.6% / 54.8% vs Fair /
 // Corral; OCS carries 92.2% (Co-scheduler), 33.0% (Corral), 2.2% (Fair) of
 // the traffic.
+#include <chrono>
 #include <fstream>
 #include <iostream>
 
 #include "bench_util.h"
 #include "metrics/report.h"
+#include "metrics/run_report.h"
 #include "obs/observability.h"
+#include "obs/perf_monitor.h"
 #include "obs/profile.h"
 
 using namespace cosched;
@@ -28,7 +31,19 @@ void run_observed_rep(const ExperimentConfig& cfg, const BenchArgs& args) {
   Observability obs;
   ExperimentConfig observed = cfg;
   observed.sim.obs = &obs;
-  (void)run_once(observed, make_scheduler_factory("coscheduler"), 0);
+  // A RunReport wants the per-phase latency histograms, so monitor the
+  // observed repetition (monitoring never perturbs results; the driver's
+  // thread-local capture fills obs.perf / obs.profile for this run only).
+  const bool perf_was_enabled = PerfMonitor::enabled();
+  if (!args.report_out.empty()) PerfMonitor::set_enabled(true);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const RunMetrics run =
+      run_once(observed, make_scheduler_factory("coscheduler"), 0);
+  const double wall_sec = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall_start)
+                              .count();
+  PerfMonitor::set_enabled(perf_was_enabled);
 
   if (!args.trace_out.empty()) {
     std::ofstream os(args.trace_out);
@@ -39,6 +54,17 @@ void run_observed_rep(const ExperimentConfig& cfg, const BenchArgs& args) {
     std::ofstream os(args.counters_out);
     obs.counters.write_csv(os);
     std::printf("wrote counter CSV to %s\n", args.counters_out.c_str());
+  }
+  if (!args.report_out.empty()) {
+    RunReportMeta meta;
+    meta.num_jobs = args.jobs;
+    meta.num_racks = cfg.sim.topo.num_racks;
+    meta.wall_time_sec = wall_sec;
+    meta.rss_high_water_bytes = rss_high_water_bytes();
+    std::ofstream os(args.report_out);
+    write_run_report_json(os, run, meta, &obs.perf, &obs.profile,
+                          &obs.counters);
+    std::printf("wrote RunReport to %s\n", args.report_out.c_str());
   }
   print_obs_summary(std::cout, obs);
 }
@@ -93,6 +119,11 @@ int main(int argc, char** argv) {
   // print_obs_summary already includes the profile table when observing.
   if (args.profile && !args.observing()) {
     Profiler::instance().write_summary(std::cout);
+  }
+  if (!args.profile_out.empty()) {
+    std::ofstream os(args.profile_out);
+    Profiler::instance().write_summary(os);
+    std::printf("wrote profile to %s\n", args.profile_out.c_str());
   }
   return 0;
 }

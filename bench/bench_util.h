@@ -24,12 +24,20 @@
 // Numeric flags are parsed strictly: non-numeric, trailing-garbage, or
 // out-of-range values are errors, not silent zeros.
 //
-// Observability (benches that support it, currently bench_fig3_overall):
+// Observability (benches that support it, currently bench_fig3_overall
+// and bench_scale):
 //   --trace-out=PATH      Chrome trace JSON of one coscheduler repetition
 //   --counters-out=PATH   counter samples of that repetition as CSV
 //   --profile             wall-clock profile of simulator hot paths
+//   --profile-out=PATH    write that profile to a file (implies --profile)
+//   --heartbeat=SECS      wall-clock progress line every SECS seconds
+//   --report-out=PATH     unified RunReport JSON (tools/run_report.py)
+//   --racks=N             override the paper's 60-rack topology
+//   --sched=NAME          scheduler for single-scheduler benches
+//                         (bench_scale; default coscheduler)
 #pragma once
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
@@ -79,10 +87,41 @@ inline bool parse_uint64(const char* s, std::uint64_t* out) {
   return true;
 }
 
+/// Strict decimal parse of a whole C string into [min_value, max_value];
+/// same contract as parse_int32 — no leading whitespace, no '+', no
+/// trailing characters, and inf/nan spellings are rejected (the first
+/// character must be a digit, '-', or '.').
+inline bool parse_double(const char* s, double min_value, double max_value,
+                         double* out) {
+  if (s == nullptr || *s == '\0') return false;
+  const char* digits = (*s == '-') ? s + 1 : s;
+  if ((*digits < '0' || *digits > '9') && *digits != '.') return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (errno == ERANGE || end == s || *end != '\0') return false;
+  if (!(v >= min_value && v <= max_value)) return false;  // also rejects NaN
+  *out = v;
+  return true;
+}
+
 struct BenchArgs {
   std::int32_t reps = 2;
   std::int32_t jobs = 200;
   std::uint64_t seed = 42;
+  /// 0 = the paper's 60-rack topology; > 0 overrides num_racks.
+  std::int32_t racks = 0;
+  /// Wall-clock heartbeat period (--heartbeat=SECS); 0 = off. Negative
+  /// means "flag absent", letting benches pick their own default
+  /// (bench_scale heartbeats every 10 s unless told otherwise).
+  double heartbeat_sec = -1.0;
+  /// RunReport JSON destination (--report-out=PATH); empty = none.
+  std::string report_out;
+  /// Profile destination file (--profile-out=PATH, implies --profile);
+  /// empty = stdout when --profile is set.
+  std::string profile_out;
+  /// Scheduler for single-scheduler benches (bench_scale).
+  std::string sched = "coscheduler";
   /// 1 = serial (default), 0 = all hardware threads, N > 1 = N workers.
   std::int32_t threads = 1;
   std::string trace_out;
@@ -97,7 +136,7 @@ struct BenchArgs {
   bool audit = kAuditDefaultOn;
 
   [[nodiscard]] bool observing() const {
-    return !trace_out.empty() || !counters_out.empty();
+    return !trace_out.empty() || !counters_out.empty() || !report_out.empty();
   }
 
   /// The run-sharding config benches pass to run_experiment /
@@ -159,6 +198,25 @@ struct BenchArgs {
         }
         args.faults = *plan;
         args.faults_spec = faults;
+      } else if (const char* racks = value("--racks=")) {
+        if (!parse_int32(racks, 2, 100000, &args.racks)) {
+          *error = "--racks expects an integer >= 2, got '" +
+                   std::string(racks) + "'";
+          return std::nullopt;
+        }
+      } else if (const char* hb = value("--heartbeat=")) {
+        if (!parse_double(hb, 0.0, 1e9, &args.heartbeat_sec)) {
+          *error = "--heartbeat expects seconds >= 0, got '" +
+                   std::string(hb) + "'";
+          return std::nullopt;
+        }
+      } else if (const char* report = value("--report-out=")) {
+        args.report_out = report;
+      } else if (const char* prof = value("--profile-out=")) {
+        args.profile_out = prof;
+        args.profile = true;
+      } else if (const char* sched = value("--sched=")) {
+        args.sched = sched;
       } else if (const char* trace = value("--trace-out=")) {
         args.trace_out = trace;
       } else if (const char* counters = value("--counters-out=")) {
@@ -184,9 +242,14 @@ struct BenchArgs {
     std::printf(
         "usage: %s [--reps=N] [--jobs=N (paper: 1000)] [--seed=N]\n"
         "          [--threads=N (0 = all hardware threads)]\n"
+        "          [--racks=N (default: paper's 60)]\n"
+        "          [--sched=NAME (single-scheduler benches; default "
+        "coscheduler)]\n"
         "          [--faults=SPEC (see docs/FAULTS.md)]\n"
         "          [--audit | --no-audit (invariant auditor; default %s)]\n"
-        "          [--trace-out=PATH] [--counters-out=PATH] [--profile]\n",
+        "          [--trace-out=PATH] [--counters-out=PATH]\n"
+        "          [--profile] [--profile-out=PATH]\n"
+        "          [--heartbeat=SECS] [--report-out=PATH]\n",
         prog, kAuditDefaultOn ? "on" : "off");
   }
 
@@ -214,6 +277,7 @@ struct BenchArgs {
 inline ExperimentConfig paper_config(const BenchArgs& args) {
   ExperimentConfig cfg;
   cfg.sim.topo = HybridTopology{};  // defaults mirror the paper
+  if (args.racks > 0) cfg.sim.topo.num_racks = args.racks;
   cfg.workload.num_jobs = args.jobs;
   cfg.workload.num_users = 20;
   // Scale the arrival window with the job count so smaller --jobs runs
@@ -224,6 +288,7 @@ inline ExperimentConfig paper_config(const BenchArgs& args) {
   cfg.base_seed = args.seed;
   cfg.sim.faults = args.faults;
   cfg.sim.audit = args.audit;
+  cfg.sim.heartbeat_sec = std::max(0.0, args.heartbeat_sec);
   return cfg;
 }
 

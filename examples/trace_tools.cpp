@@ -16,6 +16,7 @@
 //                           <stem>.grants.csv, <stem>.circuits.csv
 //   --counter-interval=<s>  sim-seconds between counter samples (default 1)
 //   --profile               wall-clock profile of simulator hot paths
+//   --profile-out=<path>    write that profile to a file (implies --profile)
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -73,6 +74,7 @@ struct ObsFlags {
   std::string trace_csv;
   std::string counters_out;
   std::string decisions_out;
+  std::string profile_out;
   double counter_interval_sec = 1.0;
   bool profile = false;
   bool any() const {
@@ -95,6 +97,10 @@ bool parse_obs_flag(const std::string& arg, ObsFlags& flags) {
   if (value_of("--decisions-out=", flags.decisions_out)) return true;
   if (value_of("--counter-interval=", interval)) {
     flags.counter_interval_sec = std::atof(interval.c_str());
+    return true;
+  }
+  if (value_of("--profile-out=", flags.profile_out)) {
+    flags.profile = true;  // a destination implies profiling
     return true;
   }
   if (arg == "--profile") {
@@ -180,8 +186,19 @@ int cmd_replay(const char* path, const char* scheduler,
                  "circuit decisions");
     }
     print_obs_summary(std::cout, *obs);
-  } else if (flags.profile) {
+  } else if (flags.profile && flags.profile_out.empty()) {
     Profiler::instance().write_summary(std::cout);
+  }
+  if (!flags.profile_out.empty()) {
+    write_file(flags.profile_out,
+               [&](std::ostream& os) {
+                 if (obs != nullptr && !obs->profile.empty()) {
+                   Profiler::write_sections(os, obs->profile);
+                 } else {
+                   Profiler::instance().write_summary(os);
+                 }
+               },
+               "wall-clock profile");
   }
   return 0;
 }
@@ -215,7 +232,8 @@ int main(int argc, char** argv) {
                "  %s replay <path> <fair|corral|coscheduler|mts+ocas|ocas>\n"
                "     [--trace-out=f.json] [--trace-csv=f.csv]\n"
                "     [--counters-out=f.csv] [--decisions-out=stem]\n"
-               "     [--counter-interval=sec] [--profile]\n",
+               "     [--counter-interval=sec] [--profile] "
+               "[--profile-out=f.txt]\n",
                argv[0], argv[0], argv[0]);
   return 2;
 }

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/log.h"
 #include "obs/observability.h"
+#include "obs/perf_monitor.h"
 #include "obs/profile.h"
 
 namespace cosched {
@@ -120,6 +121,8 @@ void SunflowScheduler::request_allocation_pass() {
 
 void SunflowScheduler::allocation_pass() {
   COSCHED_PROF_SCOPE("sunflow.allocation_pass");
+  PerfScope perf(PerfPhase::kSunflowAlloc);
+  if (perf.active()) perf.set_size(pending_flows());
   // Ports that a higher-priority coflow still needs (pending demand it
   // could not start this pass) are *reserved*: a lower-priority coflow may
   // not take them even if they are momentarily free. Without this, a long

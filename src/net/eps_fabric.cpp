@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/log.h"
+#include "obs/perf_monitor.h"
 #include "obs/profile.h"
 
 namespace cosched {
@@ -98,6 +99,8 @@ void EpsFabric::settle_flow(ActiveFlow& af) {
 
 void EpsFabric::recompute_and_replan() {
   COSCHED_PROF_SCOPE("eps.recompute_and_replan");
+  PerfScope perf(PerfPhase::kEpsReplan);
+  perf.set_size(active_.size());
   ++replans_;
   last_replan_ = sim_.now();
   // Settle every flow at its current (old) rate before rates change.

@@ -1,0 +1,72 @@
+#include "obs/latency_histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace cosched {
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t v) {
+  if (v < 16) return static_cast<std::size_t>(v);
+  const int octave = std::bit_width(v) - 1;  // >= 4
+  const auto sub =
+      static_cast<std::size_t>((v >> (octave - 2)) & 0x3ULL);
+  return 16 + 4 * static_cast<std::size_t>(octave - 4) + sub;
+}
+
+std::uint64_t LatencyHistogram::bucket_lo(std::size_t i) {
+  if (i < 16) return i;
+  const std::size_t k = i - 16;
+  const std::size_t octave = 4 + k / 4;
+  const std::uint64_t sub = k % 4;
+  return (std::uint64_t{1} << octave) + sub * (std::uint64_t{1} << (octave - 2));
+}
+
+std::uint64_t LatencyHistogram::bucket_hi(std::size_t i) {
+  if (i + 1 >= kNumBuckets) return ~std::uint64_t{0};
+  return bucket_lo(i + 1);
+}
+
+void LatencyHistogram::add(std::uint64_t v) {
+  ++counts_[bucket_index(v)];
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::reset() { *this = LatencyHistogram{}; }
+
+double LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  if (p >= 100.0) return static_cast<double>(max_);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts_[i] == 0) continue;
+    const auto next = cum + counts_[i];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate the target rank's position inside this bucket.
+      const double within =
+          (target - static_cast<double>(cum)) /
+          static_cast<double>(counts_[i]);
+      const double lo = static_cast<double>(bucket_lo(i));
+      const double hi = static_cast<double>(bucket_hi(i));
+      const double v = lo + within * (hi - lo);
+      return std::clamp(v, static_cast<double>(min_),
+                        static_cast<double>(max_));
+    }
+    cum = next;
+  }
+  return static_cast<double>(max_);
+}
+
+}  // namespace cosched

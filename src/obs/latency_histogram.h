@@ -1,0 +1,73 @@
+// Log-bucketed latency histogram with *fixed* bucket boundaries.
+//
+// The bucket layout is a compile-time constant — 16 exact buckets for
+// values 0..15, then four sub-buckets per power-of-two octave up to the
+// full uint64 range (256 buckets, ~19% worst-case relative width). Because
+// every histogram shares the same boundaries, merging two histograms is an
+// element-wise add and is bit-for-bit deterministic regardless of the
+// order samples (or merges) arrived in — the property the parallel
+// experiment runner and the RunReport aggregation rely on.
+//
+// Percentiles are estimated by linear interpolation inside the bucket that
+// contains the target rank, clamped to the exact observed [min, max]; the
+// 100th percentile is the exact maximum. Values are nanoseconds by
+// convention (PerfMonitor feeds wall-clock ns), but nothing here assumes a
+// unit.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace cosched {
+
+class LatencyHistogram {
+ public:
+  /// 16 exact buckets + 60 octaves x 4 sub-buckets = 256. Fixed forever
+  /// within a schema version: RunReport serializes (lo, hi, count) triples,
+  /// so readers never depend on this layout, but merges do.
+  static constexpr std::size_t kNumBuckets = 256;
+
+  /// Bucket that contains `v`: v itself for v < 16, otherwise
+  /// 16 + 4*(octave-4) + sub, where octave = floor(log2 v) and sub is the
+  /// next two significant bits.
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t v);
+  /// Inclusive lower bound of bucket `i`.
+  [[nodiscard]] static std::uint64_t bucket_lo(std::size_t i);
+  /// Exclusive upper bound of bucket `i` (UINT64_MAX for the last bucket).
+  [[nodiscard]] static std::uint64_t bucket_hi(std::size_t i);
+
+  void add(std::uint64_t v);
+  /// Element-wise add; deterministic (merge order cannot matter).
+  void merge(const LatencyHistogram& other);
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  /// Exact extrema (0 when empty).
+  [[nodiscard]] std::uint64_t max() const { return count_ > 0 ? max_ : 0; }
+  [[nodiscard]] std::uint64_t min() const { return count_ > 0 ? min_ : 0; }
+  [[nodiscard]] double mean() const {
+    return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_)
+                      : 0.0;
+  }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i];
+  }
+
+  /// Estimated p-th percentile (p in [0, 100]); 0 when empty. Monotone in
+  /// p, clamped to [min(), max()], exact at p = 100.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double p50() const { return percentile(50); }
+  [[nodiscard]] double p90() const { return percentile(90); }
+  [[nodiscard]] double p99() const { return percentile(99); }
+
+ private:
+  std::array<std::uint64_t, kNumBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace cosched

@@ -14,8 +14,14 @@
 // separately via Profiler::set_enabled.
 #pragma once
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "obs/counters.h"
 #include "obs/decision_log.h"
+#include "obs/perf_monitor.h"
+#include "obs/profile.h"
 #include "obs/trace_recorder.h"
 
 namespace cosched {
@@ -29,6 +35,13 @@ struct Observability {
   TraceRecorder trace;
   CounterRegistry counters;
   DecisionLog decisions;
+
+  // Per-run wall-clock deltas, captured by the driver when the global
+  // Profiler / PerfMonitor are enabled (empty otherwise). Unlike the global
+  // registries these never conflate repetitions: the driver brackets the
+  // run with the thread-local captures, so parallel workers stay separate.
+  std::vector<std::pair<std::string, Profiler::Section>> profile;
+  PerfSnapshot perf;
 };
 
 }  // namespace cosched

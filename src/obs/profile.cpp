@@ -7,15 +7,19 @@
 namespace cosched {
 
 std::atomic<bool> Profiler::enabled_{false};
+thread_local std::vector<std::pair<std::string, Profiler::Section>>*
+    Profiler::capture_ = nullptr;
 
 Profiler& Profiler::instance() {
   static Profiler profiler;
   return profiler;
 }
 
-void Profiler::add(const char* name, std::uint64_t ns) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [section_name, section] : sections_) {
+namespace {
+
+void accumulate(std::vector<std::pair<std::string, Profiler::Section>>& dst,
+                const char* name, std::uint64_t ns) {
+  for (auto& [section_name, section] : dst) {
     if (section_name == name) {
       ++section.calls;
       section.total_ns += ns;
@@ -23,8 +27,25 @@ void Profiler::add(const char* name, std::uint64_t ns) {
       return;
     }
   }
-  sections_.emplace_back(name, Section{.calls = 1, .total_ns = ns, .max_ns = ns});
+  dst.emplace_back(name, Profiler::Section{
+                             .calls = 1, .total_ns = ns, .max_ns = ns});
 }
+
+}  // namespace
+
+void Profiler::add(const char* name, std::uint64_t ns) {
+  if (capture_ != nullptr) accumulate(*capture_, name, ns);
+  std::lock_guard<std::mutex> lock(mu_);
+  accumulate(sections_, name, ns);
+}
+
+void Profiler::begin_capture(
+    std::vector<std::pair<std::string, Section>>* out) {
+  if (out != nullptr) out->clear();
+  capture_ = out;
+}
+
+void Profiler::end_capture() { capture_ = nullptr; }
 
 void Profiler::reset() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -45,7 +66,14 @@ std::vector<std::pair<std::string, Profiler::Section>> Profiler::snapshot()
 }
 
 void Profiler::write_summary(std::ostream& os) const {
-  const auto sections = snapshot();
+  write_sections(os, snapshot());
+}
+
+void Profiler::write_sections(
+    std::ostream& os, std::vector<std::pair<std::string, Section>> sections) {
+  std::sort(sections.begin(), sections.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ns > b.second.total_ns;
+  });
   os << "wall-clock profile (" << sections.size() << " sections)\n";
   os << "  " << std::left << std::setw(32) << "section" << std::right
      << std::setw(10) << "calls" << std::setw(12) << "total_ms"

@@ -53,13 +53,26 @@ class Profiler {
   /// Sections sorted by total wall-clock, descending.
   [[nodiscard]] std::vector<std::pair<std::string, Section>> snapshot() const;
 
+  /// Additionally attribute this thread's add() calls into `out` until
+  /// end_capture(). `out` is cleared first and must outlive the capture.
+  /// Thread-local, so a run's delta stays clean even when other experiment
+  /// repetitions feed the global registry concurrently.
+  static void begin_capture(std::vector<std::pair<std::string, Section>>* out);
+  static void end_capture();
+
   /// Per-section table: calls, total ms, mean us, max us.
   void write_summary(std::ostream& os) const;
+  /// Same table for an arbitrary section list (e.g. a per-run capture);
+  /// sections are printed sorted by total wall-clock, descending.
+  static void write_sections(
+      std::ostream& os,
+      std::vector<std::pair<std::string, Section>> sections);
 
  private:
   Profiler() = default;
 
   static std::atomic<bool> enabled_;
+  static thread_local std::vector<std::pair<std::string, Section>>* capture_;
   // Linear scan over interned names: the simulator has ~10 instrumented
   // sections, and add() is only reached when profiling is on.
   mutable std::mutex mu_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/perf_monitor.h"
 #include "sched/fairness.h"
 
 namespace cosched {
@@ -36,6 +37,8 @@ void CorralScheduler::on_job_submitted(Job& job, SchedContext& ctx) {
 
 std::optional<TaskChoice> CorralScheduler::pick_task(RackId rack,
                                                      SchedContext& ctx) {
+  PerfScope perf(PerfPhase::kSchedPickTask);
+  perf.set_size(ctx.active_jobs.size());
   for (UserId user : fair_user_order(ctx.active_jobs)) {
     for (Job* job : ctx.active_jobs) {
       if (job->spec().user != user) continue;

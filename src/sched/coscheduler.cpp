@@ -8,6 +8,7 @@
 #include "common/log.h"
 #include "obs/decision_log.h"
 #include "obs/observability.h"
+#include "obs/perf_monitor.h"
 #include "obs/profile.h"
 #include "sched/fairness.h"
 
@@ -210,6 +211,8 @@ void CoScheduler::on_maps_completed(Job& job, SchedContext& ctx) {
   }
   if (sm.empty()) return;  // cannot exploit the OCS; reduces spread freely
 
+  PerfScope perf(PerfPhase::kPsrtEnumerate);
+  perf.set_size(sm.size());
   const std::vector<PossibleSchedule> schedules = possible_reduce_schedules(
       sm, job.spec().num_reduces, ctx.topo.elephant_threshold,
       ctx.topo.ocs_link, ctx.topo.ocs_reconfig_delay, ctx.topo.num_racks);
@@ -222,6 +225,9 @@ void CoScheduler::select_best_schedule(
     Job& job, const std::vector<PossibleSchedule>& schedules,
     const std::vector<RackId>& map_racks, SchedContext& ctx) {
   (void)map_racks;
+  PerfScope perf(PerfPhase::kSbsExplore);
+  perf.set_size(schedules.size() *
+                static_cast<std::uint64_t>(ctx.topo.num_racks));
   const std::vector<ExploredSchedule> explored =
       explore_schedules(schedules, ctx.topo.num_racks, ctx.availability);
   const std::optional<std::size_t> best_index = best_schedule_index(explored);
@@ -265,6 +271,8 @@ bool map_overflow_allowed(Job& job, const SchedContext& ctx) {
 
 std::optional<TaskChoice> CoScheduler::pick_task(RackId rack,
                                                  SchedContext& ctx) {
+  PerfScope perf(PerfPhase::kOcasGrant);
+  perf.set_size(ctx.active_jobs.size());
   for (UserId user : fair_user_order(ctx.active_jobs)) {
     std::vector<Job*> jobs;
     for (Job* job : ctx.active_jobs) {

@@ -1,5 +1,6 @@
 #include "sched/fair.h"
 
+#include "obs/perf_monitor.h"
 #include "sched/fairness.h"
 
 namespace cosched {
@@ -11,6 +12,8 @@ void FairScheduler::on_job_submitted(Job& job, SchedContext& ctx) {
 
 std::optional<TaskChoice> FairScheduler::pick_task(RackId rack,
                                                    SchedContext& ctx) {
+  PerfScope perf(PerfPhase::kSchedPickTask);
+  perf.set_size(ctx.active_jobs.size());
   for (UserId user : fair_user_order(ctx.active_jobs)) {
     for (Job* job : ctx.active_jobs) {
       if (job->spec().user != user) continue;

@@ -1,10 +1,14 @@
 #include "sim/driver.h"
 
 #include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
 
 #include "common/check.h"
 #include "common/log.h"
 #include "obs/observability.h"
+#include "obs/perf_monitor.h"
 #include "obs/profile.h"
 
 namespace cosched {
@@ -101,6 +105,24 @@ SchedContext SimulationDriver::make_context() {
 }
 
 RunMetrics SimulationDriver::run() {
+  // Per-run wall-clock capture: when the global Profiler / PerfMonitor are
+  // enabled and an obs bundle is attached, bracket this run with the
+  // thread-local captures so the bundle's profile/perf deltas cover exactly
+  // this run's thread — no conflation across repetitions or with parallel
+  // workers sharing the global registries.
+  const bool capture_prof = cfg_.obs != nullptr && Profiler::enabled();
+  const bool capture_perf = cfg_.obs != nullptr && PerfMonitor::enabled();
+  if (capture_prof) Profiler::begin_capture(&cfg_.obs->profile);
+  if (capture_perf) PerfMonitor::begin_capture(&cfg_.obs->perf);
+
+  if (cfg_.heartbeat_sec > 0.0) {
+    wall_start_ = std::chrono::steady_clock::now();
+    next_beat_ = wall_start_ + std::chrono::duration_cast<
+                                   std::chrono::steady_clock::duration>(
+                                   std::chrono::duration<double>(
+                                       cfg_.heartbeat_sec));
+  }
+
   for (std::size_t i = 0; i < workload_.size(); ++i) {
     sim_.schedule_at(workload_[i].arrival, [this, i] { on_job_arrival(i); });
   }
@@ -112,7 +134,7 @@ RunMetrics SimulationDriver::run() {
     // (Re-)arm the counter sampler: it disarms itself whenever the queue
     // would otherwise drain, so each recovery round needs a fresh arm.
     if (cfg_.obs != nullptr) cfg_.obs->counters.arm(sim_);
-    sim_.run();
+    run_event_loop();
     if (jobs_completed_ == static_cast<std::int64_t>(workload_.size())) break;
     COSCHED_CHECK_MSG(break_deadlock(),
                       "simulation drained with "
@@ -121,6 +143,9 @@ RunMetrics SimulationDriver::run() {
                           << " jobs incomplete and no recovery possible");
   }
   if (audit_) audit_->final_check();
+  if (cfg_.heartbeat_sec > 0.0) emit_heartbeat();  // final summary beat
+  if (capture_prof) Profiler::end_capture();
+  if (capture_perf) PerfMonitor::end_capture();
 
   RunMetrics m;
   m.scheduler = scheduler_->name();
@@ -173,6 +198,65 @@ RunMetrics SimulationDriver::run() {
   return m;
 }
 
+void SimulationDriver::run_event_loop() {
+  const bool monitored = PerfMonitor::enabled();
+  const bool beating = cfg_.heartbeat_sec > 0.0;
+  if (!monitored && !beating) {
+    // Dark path: identical to the instrumented loop below, since run() is
+    // exactly `while (step()) {}` — just without the per-event overhead.
+    sim_.run();
+    return;
+  }
+  // The wall clock is consulted once per kBeatCheckStride events, not per
+  // event, so heartbeating costs ~nothing even at 100k-job scale.
+  constexpr std::uint64_t kBeatCheckStride = 1024;
+  std::uint64_t until_check = kBeatCheckStride;
+  while (true) {
+    bool more;
+    if (monitored) {
+      const std::size_t pending = sim_.events_pending();
+      PerfScope perf(PerfPhase::kEventDispatch);
+      perf.set_size(pending);
+      more = sim_.step();
+    } else {
+      more = sim_.step();
+    }
+    if (!more) break;
+    if (beating && --until_check == 0) {
+      until_check = kBeatCheckStride;
+      if (std::chrono::steady_clock::now() >= next_beat_) emit_heartbeat();
+    }
+  }
+}
+
+void SimulationDriver::emit_heartbeat() {
+  const auto now = std::chrono::steady_clock::now();
+  const double wall_sec =
+      std::chrono::duration<double>(now - wall_start_).count();
+  const std::uint64_t events = sim_.events_executed();
+  const double window_sec = wall_sec - last_beat_wall_sec_;
+  const double ev_per_sec =
+      window_sec > 0.0
+          ? static_cast<double>(events - last_beat_events_) / window_sec
+          : 0.0;
+  // One formatted write so concurrent repetitions interleave per line, not
+  // per token.
+  std::ostringstream line;
+  line << "[heartbeat] wall=" << std::fixed << std::setprecision(1)
+       << wall_sec << "s sim=" << sim_.now().sec() << "s events=" << events
+       << " ev/s=" << std::setprecision(0) << ev_per_sec
+       << " jobs=" << jobs_completed_ << "/" << workload_.size()
+       << " rss_hwm_mb=" << rss_high_water_bytes() / (1024 * 1024) << "\n";
+  std::ostream& os =
+      cfg_.heartbeat_out != nullptr ? *cfg_.heartbeat_out : std::cerr;
+  os << line.str() << std::flush;
+  last_beat_events_ = events;
+  last_beat_wall_sec_ = wall_sec;
+  next_beat_ =
+      now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(cfg_.heartbeat_sec));
+}
+
 void SimulationDriver::on_job_arrival(std::size_t workload_index) {
   const JobSpec& spec = workload_[workload_index];
   jobs_.push_back(std::make_unique<Job>(spec, cfg_.topo.elephant_threshold,
@@ -207,6 +291,8 @@ void SimulationDriver::request_dispatch() {
 
 void SimulationDriver::dispatch() {
   COSCHED_PROF_SCOPE("driver.dispatch");
+  PerfScope perf(PerfPhase::kDriverDispatch);
+  perf.set_size(static_cast<std::uint64_t>(cfg_.topo.num_racks));
   if (pending_tasks_ == 0) return;
   SchedContext ctx = make_context();
   const std::int32_t racks = cfg_.topo.num_racks;

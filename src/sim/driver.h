@@ -25,6 +25,8 @@
 //    from coflow release to last flow completion.
 #pragma once
 
+#include <chrono>
+#include <iosfwd>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -74,6 +76,14 @@ struct SimConfig {
   /// Optional tracing/counters/decision-log bundle (must outlive the
   /// driver). Null — the default — records nothing and costs ~nothing.
   Observability* obs = nullptr;
+  /// Wall-clock heartbeat period in seconds (--heartbeat=SECS). 0 — the
+  /// default — disables it. Heartbeats report progress (sim-time reached,
+  /// events processed, jobs finished, events/sec over a sliding window, RSS
+  /// high-water) and never touch simulation state: a heartbeating run is
+  /// bit-for-bit identical to a silent one.
+  double heartbeat_sec = 0.0;
+  /// Heartbeat destination; null — the default — means stderr.
+  std::ostream* heartbeat_out = nullptr;
   /// Runtime invariant auditor (src/audit/): byte conservation, container
   /// ledger, OCS port exclusivity, event-queue sanity, scheduler contracts.
   /// Purely observational — audited runs are bit-for-bit identical to
@@ -102,6 +112,15 @@ class SimulationDriver : public AvailabilityOracle {
 
  private:
   SchedContext make_context();
+
+  /// Drain the event queue like `sim_.run()`, but stepped from the driver
+  /// so wall-clock instrumentation (PerfMonitor event-dispatch timing,
+  /// --heartbeat progress lines) can wrap each event. Falls through to
+  /// `sim_.run()` when both are dark — and since run() is exactly
+  /// `while (step()) {}`, the instrumented loop executes the identical
+  /// event sequence either way.
+  void run_event_loop();
+  void emit_heartbeat();
 
   void on_job_arrival(std::size_t workload_index);
   void request_dispatch();
@@ -176,6 +195,13 @@ class SimulationDriver : public AvailabilityOracle {
   /// never stores handles.
   std::unordered_map<TaskId, EventHandle> completion_events_;
   std::int64_t deadlock_breaks_ = 0;
+
+  // Wall-clock heartbeat state (cfg_.heartbeat_sec > 0 only). The sliding
+  // events/sec window is the delta since the previous beat.
+  std::chrono::steady_clock::time_point wall_start_{};
+  std::chrono::steady_clock::time_point next_beat_{};
+  std::uint64_t last_beat_events_ = 0;
+  double last_beat_wall_sec_ = 0.0;
 
   bool dispatch_scheduled_ = false;
   bool heartbeat_scheduled_ = false;
