@@ -1,0 +1,168 @@
+// Microbenchmarks for the scheduler decision engines: end-to-end dispatch
+// cost of whole runs under the incremental vs reference engines, one SBS
+// exploration pass under both explore implementations, and BestRackHeap
+// churn. The paired *Reference benchmarks run in the same binary, so their
+// ratio is immune to machine-speed differences (the same trick as
+// bench_micro_net's EPS replan pair); tools/bench_engine.py extracts it
+// into BENCH_engine.json.
+//
+// Baseline generation: COSCHED_SCHED_BENCH_FORCE_REFERENCE=1 makes the
+// incrementally-named run benchmarks execute the reference engine instead,
+// which is how results/bench_sched_before.json was produced — an honest
+// "before" with matching benchmark names, from the same binary.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "sched/best_rack_heap.h"
+#include "sched/coscheduler.h"
+#include "sim/experiment.h"
+
+namespace cosched {
+namespace {
+
+SchedEngine engine_or_forced(SchedEngine engine) {
+  const char* force = std::getenv("COSCHED_SCHED_BENCH_FORCE_REFERENCE");
+  if (force != nullptr && *force != '\0' && *force != '0') {
+    return SchedEngine::kReference;
+  }
+  return engine;
+}
+
+ExperimentConfig dispatch_config(std::int32_t jobs, SchedEngine engine) {
+  ExperimentConfig cfg;
+  cfg.sim.topo = HybridTopology{};  // paper defaults: 60 racks
+  cfg.workload.num_jobs = jobs;
+  cfg.workload.num_users = 20;
+  cfg.workload.arrival_window = Duration::minutes(90.0 * jobs / 1000.0);
+  cfg.repetitions = 1;
+  cfg.base_seed = 42;
+  cfg.sim.audit = false;
+  cfg.sim.sched_engine = engine;
+  return cfg;
+}
+
+// One full coscheduler run per iteration: dominated by dispatch at this
+// load (ocas.grant + sbs.explore were ~90% of wall at 10k jobs), so the
+// end-to-end time is an honest proxy for scheduler-engine cost.
+void BM_SchedDispatchRun(benchmark::State& state) {
+  const ExperimentConfig cfg =
+      dispatch_config(static_cast<std::int32_t>(state.range(0)),
+                      engine_or_forced(SchedEngine::kIncremental));
+  const SchedulerFactory factory = make_scheduler_factory("coscheduler");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_once(cfg, factory, 0).events_executed);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedDispatchRun)
+    ->Arg(200)
+    ->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SchedDispatchRunReference(benchmark::State& state) {
+  const ExperimentConfig cfg =
+      dispatch_config(static_cast<std::int32_t>(state.range(0)),
+                      SchedEngine::kReference);
+  const SchedulerFactory factory = make_scheduler_factory("coscheduler");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_once(cfg, factory, 0).events_executed);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedDispatchRunReference)
+    ->Arg(200)
+    ->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- SBS exploration: one pass over every PSRT candidate. ---------------
+
+/// Deterministic oracle with the driver's real per-query cost profile:
+/// SimulationDriver::estimate_availability walks every running task on the
+/// rack, estimates its remaining time, and nth_elements the result — the
+/// expensive part the incremental engine's memoization avoids repeating.
+/// A busy paper-scale rack runs ~200 tasks; emulate that work per call.
+class DriverCostAvailability : public AvailabilityOracle {
+ public:
+  explicit DriverCostAvailability(std::int32_t num_racks)
+      : num_racks_(num_racks) {}
+
+  Duration estimate_availability(RackId rack, std::int64_t count) override {
+    constexpr std::int64_t kRunning = 200;  // paper: 200 containers/rack
+    remaining_.clear();
+    for (std::int64_t t = 0; t < kRunning; ++t) {
+      remaining_.push_back(static_cast<double>(
+          (rack.value() * 131 + t * 37) % 1009));
+    }
+    const std::int64_t need = std::min(count, kRunning);
+    std::nth_element(remaining_.begin(), remaining_.begin() + (need - 1),
+                     remaining_.end());
+    return Duration::seconds(
+        remaining_[static_cast<std::size_t>(need - 1)] /
+        static_cast<double>(num_racks_));
+  }
+
+ private:
+  std::int32_t num_racks_;
+  std::vector<double> remaining_;
+};
+
+std::vector<PossibleSchedule> wide_candidate_set() {
+  // A large shuffle on 4 map racks: many R_red candidates, overlapping
+  // counts — the shape that makes per-candidate full scans expensive.
+  const auto te = DataSize::gigabytes(1.125);
+  const std::vector<DataSize> sm{te * 20.0, te * 15.0, te * 10.0, te * 5.0};
+  return possible_reduce_schedules(sm, 40, te, Bandwidth::gbps(100),
+                                   Duration::milliseconds(10), 60);
+}
+
+void BM_SbsExplorePass(benchmark::State& state) {
+  const auto schedules = wide_candidate_set();
+  DriverCostAvailability oracle(60);
+  const bool reference =
+      engine_or_forced(SchedEngine::kIncremental) == SchedEngine::kReference;
+  for (auto _ : state) {
+    auto explored =
+        reference
+            ? explore_schedules(schedules, 60, oracle)
+            : explore_schedules_incremental(schedules, 60, oracle, false);
+    benchmark::DoNotOptimize(explored.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(schedules.size()));
+}
+BENCHMARK(BM_SbsExplorePass);
+
+void BM_SbsExplorePassReference(benchmark::State& state) {
+  const auto schedules = wide_candidate_set();
+  DriverCostAvailability oracle(60);
+  for (auto _ : state) {
+    auto explored = explore_schedules(schedules, 60, oracle);
+    benchmark::DoNotOptimize(explored.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(schedules.size()));
+}
+BENCHMARK(BM_SbsExplorePassReference);
+
+// ---- BestRackHeap: update + pop churn at paper scale. -------------------
+
+void BM_BestRackHeapChurn(benchmark::State& state) {
+  const std::int32_t racks = static_cast<std::int32_t>(state.range(0));
+  BestRackHeap heap(racks);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    heap.update(RackId{i % racks}, static_cast<double>((i * 31) % 997));
+    if (i % 4 == 3) benchmark::DoNotOptimize(heap.pop_best().value());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BestRackHeapChurn)->Arg(60)->Arg(256);
+
+}  // namespace
+}  // namespace cosched
+
+BENCHMARK_MAIN();

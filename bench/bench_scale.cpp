@@ -38,8 +38,9 @@ int main(int argc, char** argv) {
     Profiler::instance().reset();
   }
 
-  std::printf("bench_scale: %s, %d jobs on %d racks, seed %llu\n",
-              args.sched.c_str(), args.jobs, cfg.sim.topo.num_racks,
+  std::printf("bench_scale: %s (%s engine), %d jobs on %d racks, seed %llu\n",
+              args.sched.c_str(), to_string(args.sched_engine), args.jobs,
+              cfg.sim.topo.num_racks,
               static_cast<unsigned long long>(args.seed));
   SchedulerFactory factory;
   try {

@@ -35,6 +35,11 @@
 //   --racks=N             override the paper's 60-rack topology
 //   --sched=NAME          scheduler for single-scheduler benches
 //                         (bench_scale; default coscheduler)
+//   --sched-engine=NAME   scheduler decision engine: incremental (default,
+//                         cached fast path) or reference (the per-event
+//                         recompute oracle) — bit-identical results
+//   --eps-engine=NAME     EPS max-min engine: grouped (default) or
+//                         reference — bit-identical results
 #pragma once
 
 #include <algorithm>
@@ -122,6 +127,10 @@ struct BenchArgs {
   std::string profile_out;
   /// Scheduler for single-scheduler benches (bench_scale).
   std::string sched = "coscheduler";
+  /// Scheduler decision engine (--sched-engine=incremental|reference).
+  SchedEngine sched_engine = SchedEngine::kIncremental;
+  /// EPS rate engine (--eps-engine=grouped|reference).
+  EpsFabric::RateEngine eps_engine = EpsFabric::RateEngine::kGrouped;
   /// 1 = serial (default), 0 = all hardware threads, N > 1 = N workers.
   std::int32_t threads = 1;
   std::string trace_out;
@@ -217,6 +226,30 @@ struct BenchArgs {
         args.profile = true;
       } else if (const char* sched = value("--sched=")) {
         args.sched = sched;
+      } else if (const char* sched_eng = value("--sched-engine=")) {
+        // Exact-match validation, same spirit as the strict numeric
+        // parsers: anything but the two engine names is an error, never a
+        // silent default.
+        if (std::strcmp(sched_eng, "incremental") == 0) {
+          args.sched_engine = SchedEngine::kIncremental;
+        } else if (std::strcmp(sched_eng, "reference") == 0) {
+          args.sched_engine = SchedEngine::kReference;
+        } else {
+          *error = "--sched-engine expects 'incremental' or 'reference', "
+                   "got '" +
+                   std::string(sched_eng) + "'";
+          return std::nullopt;
+        }
+      } else if (const char* eps_eng = value("--eps-engine=")) {
+        if (std::strcmp(eps_eng, "grouped") == 0) {
+          args.eps_engine = EpsFabric::RateEngine::kGrouped;
+        } else if (std::strcmp(eps_eng, "reference") == 0) {
+          args.eps_engine = EpsFabric::RateEngine::kReference;
+        } else {
+          *error = "--eps-engine expects 'grouped' or 'reference', got '" +
+                   std::string(eps_eng) + "'";
+          return std::nullopt;
+        }
       } else if (const char* trace = value("--trace-out=")) {
         args.trace_out = trace;
       } else if (const char* counters = value("--counters-out=")) {
@@ -245,6 +278,9 @@ struct BenchArgs {
         "          [--racks=N (default: paper's 60)]\n"
         "          [--sched=NAME (single-scheduler benches; default "
         "coscheduler)]\n"
+        "          [--sched-engine=incremental|reference (default "
+        "incremental)]\n"
+        "          [--eps-engine=grouped|reference (default grouped)]\n"
         "          [--faults=SPEC (see docs/FAULTS.md)]\n"
         "          [--audit | --no-audit (invariant auditor; default %s)]\n"
         "          [--trace-out=PATH] [--counters-out=PATH]\n"
@@ -288,6 +324,8 @@ inline ExperimentConfig paper_config(const BenchArgs& args) {
   cfg.base_seed = args.seed;
   cfg.sim.faults = args.faults;
   cfg.sim.audit = args.audit;
+  cfg.sim.sched_engine = args.sched_engine;
+  cfg.sim.eps_engine = args.eps_engine;
   cfg.sim.heartbeat_sec = std::max(0.0, args.heartbeat_sec);
   return cfg;
 }

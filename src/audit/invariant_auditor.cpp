@@ -5,6 +5,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "sched/scheduler.h"
+
 namespace cosched {
 
 namespace {
@@ -361,6 +363,13 @@ void InvariantAuditor::check_heavy() {
          "queue inconsistent: live-entry count diverged from the ledger, or "
          "a live event is scheduled before now");
   }
+}
+
+void InvariantAuditor::check_scheduler(const JobScheduler& sched,
+                                       const std::vector<Job*>& active_jobs) {
+  ++checks_run_;
+  const std::string report = sched.audit_invariants(active_jobs);
+  if (!report.empty()) fail("sched-state-coherence", report);
 }
 
 void InvariantAuditor::final_check() {

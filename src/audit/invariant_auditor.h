@@ -37,6 +37,11 @@
 //      priority class it was logged under (class 1 grants have remaining
 //      plan capacity on the rack, class 2 grants are guideline-local maps,
 //      and so on).
+//   6. Scheduler cache coherence — an incremental scheduler engine's
+//      cached state (candidate lists, fair-share counters, retired-job
+//      bookkeeping) re-derived from first principles via
+//      JobScheduler::audit_invariants at dispatch boundaries; any
+//      divergence between cache and recompute aborts.
 #pragma once
 
 #include <cstdint>
@@ -53,6 +58,8 @@
 #include "simcore/simulator.h"
 
 namespace cosched {
+
+class JobScheduler;
 
 /// Thrown on the first invariant violation. Subclasses CheckFailure so
 /// existing CheckFailure handlers (tests, bench guards) also catch audit
@@ -102,6 +109,11 @@ class InvariantAuditor {
   /// check_light plus byte conservation over every tracked flow and the
   /// event-queue consistency scan.
   void check_heavy();
+  /// Scheduler cache coherence: ask `sched` to re-derive its incremental
+  /// caches from `active_jobs` and compare (JobScheduler::audit_invariants).
+  /// A no-op for reference engines, which return an empty report.
+  void check_scheduler(const JobScheduler& sched,
+                       const std::vector<Job*>& active_jobs);
   /// End-of-run: heavy check plus emptiness — no granted containers, no
   /// incomplete tracked flow, no un-drained bits.
   void final_check();

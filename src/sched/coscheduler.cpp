@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
 
 #include "common/check.h"
 #include "common/log.h"
@@ -10,6 +13,7 @@
 #include "obs/observability.h"
 #include "obs/perf_monitor.h"
 #include "obs/profile.h"
+#include "sched/best_rack_heap.h"
 #include "sched/fairness.h"
 
 namespace cosched {
@@ -123,6 +127,116 @@ std::vector<ExploredSchedule> explore_schedules(
   return out;
 }
 
+std::vector<ExploredSchedule> explore_schedules_incremental(
+    const std::vector<PossibleSchedule>& schedules, std::int32_t num_racks,
+    AvailabilityOracle& availability, bool availability_noisy) {
+  std::vector<ExploredSchedule> out;
+  if (schedules.empty()) return out;
+
+  if (availability_noisy) {
+    // Noisy T_rem estimates draw their per-task factors lazily from one
+    // shared RNG stream, so the *values* depend on the global order of
+    // first oracle touches. Replay the reference's exact query order (per
+    // candidate, d descending, racks ascending, selected racks skipped)
+    // and memoize per (rack, count): repeated queries cannot draw anything
+    // new (factors are cached per task and no state changes mid-pass), so
+    // a memo hit returns exactly what the reference's repeat call would.
+    std::unordered_map<std::int64_t, Duration> memo;
+    const auto estimate = [&](RackId rack, std::int32_t count) {
+      const std::int64_t key =
+          static_cast<std::int64_t>(count) * num_racks + rack.value();
+      auto it = memo.find(key);
+      if (it == memo.end()) {
+        it = memo.emplace(key, availability.estimate_availability(rack, count))
+                 .first;
+      }
+      return it->second;
+    };
+    for (const PossibleSchedule& ps : schedules) {
+      ExploredSchedule ex;
+      ex.d = ps.d;
+      std::sort(ex.d.begin(), ex.d.end(), std::greater<>());
+      ex.cct = ps.cct;
+      bool feasible = true;
+      for (std::int32_t di : ex.d) {
+        Duration best_t = Duration::infinity();
+        RackId best_rack = RackId::invalid();
+        for (std::int32_t r = 0; r < num_racks; ++r) {
+          const RackId rack{r};
+          if (ex.plan.count(rack) > 0) continue;
+          const Duration t = estimate(rack, di);
+          if (t < best_t) {
+            best_t = t;
+            best_rack = rack;
+          }
+        }
+        if (!best_rack.valid() || !best_t.is_finite()) {
+          feasible = false;
+          break;
+        }
+        ex.plan[best_rack] = di;
+        ex.t_max = std::max(ex.t_max, best_t);
+      }
+      if (feasible) out.push_back(std::move(ex));
+    }
+    return out;
+  }
+
+  // Clean estimates (no T_rem noise) are pure in (rack, count, sim state),
+  // so query order is free: per distinct count, estimate every rack once
+  // and materialize a (availability, rack-id) rank order through the
+  // lazily-repaired heap. Each candidate then takes the first unselected
+  // rack in rank order — exactly the reference scan's strict minimum with
+  // its lowest-rack tie-break.
+  std::map<std::int32_t, std::vector<std::pair<double, RackId>>> ranks;
+  const auto rank_for = [&](std::int32_t count)
+      -> const std::vector<std::pair<double, RackId>>& {
+    auto it = ranks.find(count);
+    if (it == ranks.end()) {
+      BestRackHeap heap(num_racks);
+      for (std::int32_t r = 0; r < num_racks; ++r) {
+        const RackId rack{r};
+        heap.update(rack, availability.estimate_availability(rack, count).sec());
+      }
+      std::vector<std::pair<double, RackId>> order;
+      order.reserve(static_cast<std::size_t>(num_racks));
+      while (!heap.empty()) {
+        const double key = heap.best_key();
+        order.emplace_back(key, heap.pop_best());
+      }
+      it = ranks.emplace(count, std::move(order)).first;
+    }
+    return it->second;
+  };
+
+  for (const PossibleSchedule& ps : schedules) {
+    ExploredSchedule ex;
+    ex.d = ps.d;
+    std::sort(ex.d.begin(), ex.d.end(), std::greater<>());
+    ex.cct = ps.cct;
+    bool feasible = true;
+    for (std::int32_t di : ex.d) {
+      const auto& order = rank_for(di);
+      RackId best_rack = RackId::invalid();
+      double best_sec = std::numeric_limits<double>::infinity();
+      for (const auto& [sec, rack] : order) {
+        if (ex.plan.count(rack) > 0) continue;  // selected racks are spent
+        best_rack = rack;
+        best_sec = sec;
+        break;
+      }
+      if (!best_rack.valid() || std::isinf(best_sec)) {
+        feasible = false;
+        break;
+      }
+      ex.plan[best_rack] = di;
+      ex.t_max = std::max(ex.t_max, Duration::seconds(best_sec));
+    }
+    if (feasible) out.push_back(std::move(ex));
+  }
+  return out;
+}
+
 std::optional<std::size_t> best_schedule_index(
     const std::vector<ExploredSchedule>& explored) {
   if (explored.empty()) return std::nullopt;
@@ -141,6 +255,16 @@ std::string CoScheduler::name() const {
 
 void CoScheduler::on_job_submitted(Job& job, SchedContext& ctx) {
   const JobSpec& spec = job.spec();
+  if (engine_ == SchedEngine::kIncremental) {
+    invalidate_no_grant_cache();
+    const std::int64_t s = next_seq_++;
+    seq_.emplace(job.id(), s);
+    UserState& u = users_[spec.user];
+    ++u.active;
+    // Every job has at least one map (JobSpec::validate); reduce-candidate
+    // membership begins at on_maps_completed, matching reduces_eligible.
+    u.map_candidates.emplace(s, &job);
+  }
 
   double predicted_sir = spec.sir;
   if (opts_.sir_prediction_error > 0.0) {
@@ -196,6 +320,16 @@ void CoScheduler::on_job_submitted(Job& job, SchedContext& ctx) {
 
 void CoScheduler::on_maps_completed(Job& job, SchedContext& ctx) {
   COSCHED_PROF_SCOPE("coscheduler.on_maps_completed");
+  if (engine_ == SchedEngine::kIncremental) {
+    // Membership must begin before any of the planning early-returns
+    // below: reduces become eligible at all_maps_done whether or not the
+    // job gets a reduce plan.
+    invalidate_no_grant_cache();
+    if (job.spec().num_reduces > 0) {
+      users_[job.spec().user].reduce_candidates.emplace(seq_.at(job.id()),
+                                                        &job);
+    }
+  }
   if (!opts_.enable_reduce_planning) return;
   if (!job.shuffle_heavy() || job.spec().num_reduces == 0) return;
 
@@ -229,7 +363,11 @@ void CoScheduler::select_best_schedule(
   perf.set_size(schedules.size() *
                 static_cast<std::uint64_t>(ctx.topo.num_racks));
   const std::vector<ExploredSchedule> explored =
-      explore_schedules(schedules, ctx.topo.num_racks, ctx.availability);
+      engine_ == SchedEngine::kIncremental
+          ? explore_schedules_incremental(schedules, ctx.topo.num_racks,
+                                          ctx.availability,
+                                          ctx.availability_noisy)
+          : explore_schedules(schedules, ctx.topo.num_racks, ctx.availability);
   const std::optional<std::size_t> best_index = best_schedule_index(explored);
   if (!best_index.has_value()) return;
   ExploredSchedule best = explored[*best_index];
@@ -273,6 +411,13 @@ std::optional<TaskChoice> CoScheduler::pick_task(RackId rack,
                                                  SchedContext& ctx) {
   PerfScope perf(PerfPhase::kOcasGrant);
   perf.set_size(ctx.active_jobs.size());
+  return engine_ == SchedEngine::kIncremental
+             ? pick_task_incremental(rack, ctx)
+             : pick_task_reference(rack, ctx);
+}
+
+std::optional<TaskChoice> CoScheduler::pick_task_reference(RackId rack,
+                                                           SchedContext& ctx) {
   for (UserId user : fair_user_order(ctx.active_jobs)) {
     std::vector<Job*> jobs;
     for (Job* job : ctx.active_jobs) {
@@ -340,6 +485,286 @@ std::optional<TaskChoice> CoScheduler::pick_task(RackId rack,
     }
   }
   return std::nullopt;
+}
+
+std::optional<TaskChoice> CoScheduler::pick_task_incremental(
+    RackId rack, SchedContext& ctx) {
+  const auto num_racks = static_cast<std::size_t>(ctx.topo.num_racks);
+  if (no_grant_epoch_.size() < num_racks) no_grant_epoch_.resize(num_racks, 0);
+  const auto ri = static_cast<std::size_t>(rack.value());
+  if (no_grant_epoch_[ri] == epoch_) return std::nullopt;
+
+  // Fair user order over the tracked users. fair_user_order stable-sorts a
+  // uid-ascending (user, running) list by (running, uid); iterating the
+  // uid-ascending users_ map and stable-sorting by running alone is the
+  // same total order. Users without candidates cannot match any class and
+  // are filtered up front — (running, uid) is a strict total order, so
+  // filtering commutes with sorting.
+  std::vector<std::pair<std::int64_t, UserState*>> order;
+  order.reserve(users_.size());
+  for (auto& [user, state] : users_) {
+    if (state.map_candidates.empty() && state.reduce_candidates.empty()) {
+      continue;
+    }
+    order.emplace_back(state.running, &state);
+  }
+  std::stable_sort(
+      order.begin(), order.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  for (auto& [running, state] : order) {
+    if (auto choice = scan_user(*state, rack, ctx)) return choice;
+  }
+  no_grant_epoch_[ri] = epoch_;
+  return std::nullopt;
+}
+
+std::optional<TaskChoice> CoScheduler::scan_user(UserState& u, RackId rack,
+                                                 SchedContext& ctx) {
+  // The six OCAS classes of pick_task_reference, with each "for job in the
+  // user's active jobs" scan narrowed to the candidate list whose
+  // membership is a superset of the class's match condition:
+  //   * reduce_candidates members satisfy all_maps_done && num_reduces > 0,
+  //     i.e. reduces_eligible, so classes 1/3/5 need no eligibility check;
+  //   * map_candidates members (possibly) have pending maps — a non-null
+  //     next_pending_map_local implies a non-null next_pending_map_any, so
+  //     pruning on the latter never hides a local match.
+  // Both lists iterate in arrival-sequence order, reproducing the
+  // reference's arrival-order scan; exhausted entries are pruned in place
+  // (the requeue hook re-inserts them if a kill re-opens work).
+
+  // 1. Planned shuffle-heavy reduce with plan capacity on this rack.
+  for (auto it = u.reduce_candidates.begin();
+       it != u.reduce_candidates.end();) {
+    Job* job = it->second;
+    Task* t = job->next_pending_reduce();
+    if (t == nullptr) {
+      it = u.reduce_candidates.erase(it);
+      continue;
+    }
+    if (job->shuffle_heavy() && job->has_reduce_plan() &&
+        job->reduce_plan_remaining(rack) > 0) {
+      return TaskChoice{job, t, 1};
+    }
+    ++it;
+  }
+  // 2. Guideline-conforming shuffle-heavy map.
+  for (auto it = u.map_candidates.begin(); it != u.map_candidates.end();) {
+    Job* job = it->second;
+    if (job->next_pending_map_any() == nullptr) {
+      it = u.map_candidates.erase(it);
+      continue;
+    }
+    if (job->shuffle_heavy() && job->r_map_guideline() > 0 &&
+        job->in_map_guideline(rack)) {
+      if (Task* t = job->next_pending_map_local(rack)) {
+        return TaskChoice{job, t, 2};
+      }
+    }
+    ++it;
+  }
+  // 3. Reduce from a non-shuffle-heavy job.
+  for (auto it = u.reduce_candidates.begin();
+       it != u.reduce_candidates.end();) {
+    Job* job = it->second;
+    Task* t = job->next_pending_reduce();
+    if (t == nullptr) {
+      it = u.reduce_candidates.erase(it);
+      continue;
+    }
+    if (!job->shuffle_heavy()) return TaskChoice{job, t, 3};
+    ++it;
+  }
+  // 4. Any map from a non-shuffle-heavy job (local first).
+  for (auto it = u.map_candidates.begin(); it != u.map_candidates.end();) {
+    Job* job = it->second;
+    if (job->next_pending_map_any() == nullptr) {
+      it = u.map_candidates.erase(it);
+      continue;
+    }
+    if (!job->shuffle_heavy()) {
+      if (Task* t = job->next_pending_map_local(rack)) {
+        return TaskChoice{job, t, 4};
+      }
+    }
+    ++it;
+  }
+  for (auto it = u.map_candidates.begin(); it != u.map_candidates.end();) {
+    Job* job = it->second;
+    Task* t = job->next_pending_map_any();
+    if (t == nullptr) {
+      it = u.map_candidates.erase(it);
+      continue;
+    }
+    if (!job->shuffle_heavy()) return TaskChoice{job, t, 4};
+    ++it;
+  }
+  // 5. Reduce from a shuffle-heavy job with no plan.
+  for (auto it = u.reduce_candidates.begin();
+       it != u.reduce_candidates.end();) {
+    Job* job = it->second;
+    Task* t = job->next_pending_reduce();
+    if (t == nullptr) {
+      it = u.reduce_candidates.erase(it);
+      continue;
+    }
+    if (job->shuffle_heavy() && !job->has_reduce_plan()) {
+      return TaskChoice{job, t, 5};
+    }
+    ++it;
+  }
+  // 6. Overflow map (local first), gated like the reference.
+  for (auto it = u.map_candidates.begin(); it != u.map_candidates.end();) {
+    Job* job = it->second;
+    if (job->next_pending_map_any() == nullptr) {
+      it = u.map_candidates.erase(it);
+      continue;
+    }
+    if (map_overflow_allowed(*job, ctx)) {
+      if (Task* t = job->next_pending_map_local(rack)) {
+        return TaskChoice{job, t, 6};
+      }
+    }
+    ++it;
+  }
+  for (auto it = u.map_candidates.begin(); it != u.map_candidates.end();) {
+    Job* job = it->second;
+    Task* t = job->next_pending_map_any();
+    if (t == nullptr) {
+      it = u.map_candidates.erase(it);
+      continue;
+    }
+    if (map_overflow_allowed(*job, ctx)) return TaskChoice{job, t, 6};
+    ++it;
+  }
+  return std::nullopt;
+}
+
+void CoScheduler::on_task_placed(Job& job, Task& task, RackId rack) {
+  (void)task, (void)rack;
+  if (engine_ != SchedEngine::kIncremental) return;
+  invalidate_no_grant_cache();
+  ++users_[job.spec().user].running;
+}
+
+void CoScheduler::on_task_completed(Job& job, Task& task, RackId rack) {
+  (void)task, (void)rack;
+  if (engine_ != SchedEngine::kIncremental) return;
+  invalidate_no_grant_cache();
+  --users_[job.spec().user].running;
+}
+
+void CoScheduler::on_task_requeued(Job& job, Task& task, RackId rack) {
+  (void)rack;
+  if (engine_ != SchedEngine::kIncremental) return;
+  invalidate_no_grant_cache();
+  UserState& u = users_[job.spec().user];
+  --u.running;
+  const std::int64_t s = seq_.at(job.id());
+  if (task.kind() == TaskKind::kMap) {
+    u.map_candidates.emplace(s, &job);
+  } else {
+    u.reduce_candidates.emplace(s, &job);
+  }
+}
+
+void CoScheduler::on_job_completed(Job& job) {
+  if (engine_ != SchedEngine::kIncremental) return;
+  invalidate_no_grant_cache();
+  const auto it = seq_.find(job.id());
+  COSCHED_CHECK_MSG(it != seq_.end(),
+                    "untracked job " << job.id() << " completed");
+  const auto uit = users_.find(job.spec().user);
+  COSCHED_CHECK(uit != users_.end());
+  uit->second.map_candidates.erase(it->second);
+  uit->second.reduce_candidates.erase(it->second);
+  if (--uit->second.active == 0) users_.erase(uit);
+  seq_.erase(it);
+}
+
+void CoScheduler::on_reduce_plan_cleared(Job& job) {
+  (void)job;
+  if (engine_ != SchedEngine::kIncremental) return;
+  // A cleared plan re-opens class-5 grants for the job; its
+  // reduce-candidate membership never lapsed (pruning only happens when
+  // every reduce is placed, and the breaker targets jobs with unplaced
+  // reduces), so only the no-grant memo needs invalidating.
+  invalidate_no_grant_cache();
+}
+
+std::string CoScheduler::audit_invariants(
+    const std::vector<Job*>& active_jobs) const {
+  if (engine_ != SchedEngine::kIncremental) return {};
+  const auto describe = [](const Job& job, const char* what) {
+    std::ostringstream os;
+    os << "incremental scheduler state incoherent: job " << job.id()
+       << " (user " << job.spec().user << "): " << what;
+    return os.str();
+  };
+
+  // Recompute what the caches must contain from the active set alone.
+  std::map<UserId, std::int64_t> running;
+  std::map<UserId, std::int64_t> active;
+  for (const Job* job : active_jobs) {
+    const UserId user = job->spec().user;
+    running[user] += (job->maps_placed() - job->maps_completed()) +
+                     (job->reduces_placed() - job->reduces_completed());
+    ++active[user];
+
+    const auto sit = seq_.find(job->id());
+    if (sit == seq_.end()) return describe(*job, "active but not tracked");
+    const auto uit = users_.find(user);
+    if (uit == users_.end()) return describe(*job, "user state missing");
+    const UserState& u = uit->second;
+    if (job->maps_placed() < job->spec().num_maps &&
+        u.map_candidates.count(sit->second) == 0) {
+      return describe(*job, "has pending maps but is not a map candidate");
+    }
+    if (job->all_maps_done() && job->spec().num_reduces > 0 &&
+        job->reduces_placed() < job->spec().num_reduces &&
+        u.reduce_candidates.count(sit->second) == 0) {
+      return describe(*job,
+                      "has eligible pending reduces but is not a reduce "
+                      "candidate");
+    }
+  }
+
+  // Retired jobs' state must actually be freed: nothing tracked beyond the
+  // active set, no user state outliving its last active job.
+  if (seq_.size() != active_jobs.size()) {
+    std::ostringstream os;
+    os << "incremental scheduler tracks " << seq_.size() << " jobs but "
+       << active_jobs.size() << " are active (retired state not freed)";
+    return os.str();
+  }
+  for (const auto& [user, state] : users_) {
+    const auto ait = active.find(user);
+    if (ait == active.end()) {
+      std::ostringstream os;
+      os << "user " << user << " has scheduler state but no active jobs";
+      return os.str();
+    }
+    if (state.active != ait->second || state.running != running.at(user)) {
+      std::ostringstream os;
+      os << "user " << user << " counters diverge: tracked active="
+         << state.active << " running=" << state.running << ", recomputed "
+         << "active=" << ait->second << " running=" << running.at(user);
+      return os.str();
+    }
+    for (const auto& [s, job] : state.map_candidates) {
+      const auto sit = seq_.find(job->id());
+      if (sit == seq_.end() || sit->second != s) {
+        return describe(*job, "stale map candidate");
+      }
+    }
+    for (const auto& [s, job] : state.reduce_candidates) {
+      const auto sit = seq_.find(job->id());
+      if (sit == seq_.end() || sit->second != s) {
+        return describe(*job, "stale reduce candidate");
+      }
+    }
+  }
+  return {};
 }
 
 }  // namespace cosched

@@ -34,8 +34,11 @@
 // reduces), MTS+OCAS disables the reduce planning.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "coflow/cct_bound.h"
@@ -85,6 +88,20 @@ struct ExploredSchedule {
     const std::vector<PossibleSchedule>& schedules, std::int32_t num_racks,
     AvailabilityOracle& availability);
 
+/// The incremental-engine ExploreSchedule: bit-identical results to
+/// explore_schedules with far fewer oracle queries. Every distinct
+/// (rack, count) pair is estimated at most once per pass and the answers
+/// are memoized; the clean path (availability_noisy == false) additionally
+/// replaces the per-candidate O(racks) min-scans with BestRackHeap rank
+/// orders built once per distinct count. When `availability_noisy` is set
+/// the memoized pass replays the reference's exact query order instead
+/// (same loop, memo lookups), because noisy T_rem estimates draw lazily
+/// from one RNG stream and reordering first touches would change the
+/// drawn values (see SchedContext::availability_noisy).
+[[nodiscard]] std::vector<ExploredSchedule> explore_schedules_incremental(
+    const std::vector<PossibleSchedule>& schedules, std::int32_t num_racks,
+    AvailabilityOracle& availability, bool availability_noisy);
+
 /// Index of the minimum-score exploration; nullopt when `explored` is
 /// empty. Ties break toward the earliest candidate (enumeration order).
 [[nodiscard]] std::optional<std::size_t> best_schedule_index(
@@ -114,14 +131,86 @@ class CoScheduler : public JobScheduler {
   void on_maps_completed(Job& job, SchedContext& ctx) override;
   std::optional<TaskChoice> pick_task(RackId rack, SchedContext& ctx) override;
 
+  void set_sched_engine(SchedEngine engine) override { engine_ = engine; }
+  [[nodiscard]] SchedEngine sched_engine() const override { return engine_; }
+
+  void on_task_placed(Job& job, Task& task, RackId rack) override;
+  void on_task_completed(Job& job, Task& task, RackId rack) override;
+  void on_task_requeued(Job& job, Task& task, RackId rack) override;
+  void on_job_completed(Job& job) override;
+  void on_reduce_plan_cleared(Job& job) override;
+
+  [[nodiscard]] std::string audit_invariants(
+      const std::vector<Job*>& active_jobs) const override;
+
  private:
+  // ----- incremental OCAS state (engine_ == kIncremental only) -------------
+  //
+  // The reference pick_task scans every active job per container offer —
+  // O(active_jobs) even when almost all of them are network-bound with
+  // nothing pending. The incremental engine keeps, per user, the jobs that
+  // can still receive a container:
+  //
+  //   * map_candidates: jobs with (possibly) pending maps. Keyed by an
+  //     arrival sequence number so iteration reproduces the reference's
+  //     arrival-order scan even after a killed attempt re-inserts a job.
+  //     Lazily pruned: a job whose next_pending_map_any() is null is
+  //     dropped mid-scan and re-inserted by on_task_requeued if a kill
+  //     makes a map pending again.
+  //   * reduce_candidates: jobs past all_maps_done with reduces still to
+  //     place (membership only begins at on_maps_completed, because
+  //     CoScheduler defers reduces). Same keying and pruning.
+  //
+  // Candidate membership is a strict superset of every OCAS class's match
+  // condition, so the filtered scans return exactly the reference's first
+  // match. The per-user running-task counters reproduce fair_user_order
+  // without touching the active-job list.
+  struct UserState {
+    /// Running (placed, not completed) tasks over the user's active jobs —
+    /// the fair-share key, maintained by the placement/completion hooks.
+    std::int64_t running = 0;
+    /// Active (arrived, not completed) jobs; the UserState is erased when
+    /// this drops to zero, matching fair_user_order's user set.
+    std::int64_t active = 0;
+    std::map<std::int64_t, Job*> map_candidates;
+    std::map<std::int64_t, Job*> reduce_candidates;
+  };
+
   /// SBS over the possible schedules; installs the best plan on the job.
   void select_best_schedule(Job& job,
                             const std::vector<PossibleSchedule>& schedules,
                             const std::vector<RackId>& map_racks,
                             SchedContext& ctx);
 
+  std::optional<TaskChoice> pick_task_reference(RackId rack,
+                                                SchedContext& ctx);
+  std::optional<TaskChoice> pick_task_incremental(RackId rack,
+                                                  SchedContext& ctx);
+  /// One user's six OCAS class scans over their candidate lists, pruning
+  /// exhausted candidates along the way.
+  std::optional<TaskChoice> scan_user(UserState& u, RackId rack,
+                                      SchedContext& ctx);
+
+  /// Any state change that could turn a cached "no grant on this rack"
+  /// answer into a grant invalidates every cached answer. Conservatively
+  /// bumped on every notification hook: over-bumping costs one extra scan
+  /// per rack, staleness would silently diverge from the reference.
+  void invalidate_no_grant_cache() { ++epoch_; }
+
   Options opts_;
+  SchedEngine engine_ = SchedEngine::kIncremental;
+
+  // uid-ascending so iterating + stable-sorting by (running, uid)
+  // reproduces fair_user_order exactly.
+  std::map<UserId, UserState> users_;
+  /// Arrival sequence per live tracked job (candidate-map key).
+  std::unordered_map<JobId, std::int64_t> seq_;
+  std::int64_t next_seq_ = 0;
+  /// Per-rack memo of "pick_task returned nullopt at epoch E": a dispatch
+  /// wave re-offers idle racks many times; once nothing is grantable on a
+  /// rack, it stays ungrantable until some hook bumps epoch_.
+  std::vector<std::uint64_t> no_grant_epoch_;
+  std::uint64_t epoch_ = 1;
 };
 
 }  // namespace cosched

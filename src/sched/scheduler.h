@@ -31,6 +31,17 @@ namespace cosched {
 
 struct Observability;
 
+/// Which decision engine a scheduler runs. kIncremental is the production
+/// fast path (cached candidate lists, memoized SBS scans); kReference is
+/// the naive per-event recompute retained as the oracle — the fuzzer and
+/// the determinism suite cross-check the two bit for bit, mirroring
+/// EpsFabric::RateEngine from the network layer.
+enum class SchedEngine : std::uint8_t { kIncremental, kReference };
+
+[[nodiscard]] constexpr const char* to_string(SchedEngine e) {
+  return e == SchedEngine::kIncremental ? "incremental" : "reference";
+}
+
 /// Everything a scheduler may consult when deciding.
 struct SchedContext {
   SimTime now;
@@ -45,6 +56,13 @@ struct SchedContext {
   double reduce_slowstart = 0.05;
   /// Optional tracing/decision-log bundle; null when not observing.
   Observability* obs = nullptr;
+  /// Whether the availability oracle's T_rem estimates carry multiplicative
+  /// noise (Figure 7's knob or a trem-noise fault clause). The noise draws
+  /// lazily per task from one RNG stream, so estimate *values* depend on
+  /// the global order of first touches; a fast path that would reorder
+  /// those touches must fall back to reference-order queries when this is
+  /// set (see explore_schedules_incremental).
+  bool availability_noisy = false;
 };
 
 struct TaskChoice {
@@ -79,6 +97,52 @@ class JobScheduler {
   /// Offer one free container on `rack`. Return the task to run or nullopt.
   virtual std::optional<TaskChoice> pick_task(RackId rack,
                                               SchedContext& ctx) = 0;
+
+  // ----- engine selection ---------------------------------------------------
+  /// Select the decision engine. Default is a no-op: schedulers without an
+  /// incremental path always run their one (reference) implementation.
+  virtual void set_sched_engine(SchedEngine engine) { (void)engine; }
+  [[nodiscard]] virtual SchedEngine sched_engine() const {
+    return SchedEngine::kReference;
+  }
+
+  // ----- state-change notifications (incremental engines) -------------------
+  // The driver reports every scheduling-relevant state transition through
+  // these hooks so an incremental engine can maintain its caches. All are
+  // no-ops by default; the reference engine ignores them. Ordering
+  // contract: each hook fires *after* the corresponding Job counters have
+  // been updated (note_map_placed / note_map_completed / requeue_map / ...),
+  // so a hook sees the same job state a fresh recompute would.
+
+  /// A container was granted to `task` of `job` on `rack`.
+  virtual void on_task_placed(Job& job, Task& task, RackId rack) {
+    (void)job, (void)task, (void)rack;
+  }
+  /// `task` of `job` completed and released its container on `rack`.
+  virtual void on_task_completed(Job& job, Task& task, RackId rack) {
+    (void)job, (void)task, (void)rack;
+  }
+  /// A running attempt of `task` was killed on `rack` and the task is
+  /// pending again (Job::requeue_map / requeue_reduce already ran).
+  virtual void on_task_requeued(Job& job, Task& task, RackId rack) {
+    (void)job, (void)task, (void)rack;
+  }
+  /// `job` finished and is about to leave the active set: retire any
+  /// scheduler state attached to it.
+  virtual void on_job_completed(Job& job) { (void)job; }
+  /// The deadlock breaker abandoned `job`'s reduce plan
+  /// (Job::clear_reduce_plan already ran), re-opening class-5 grants.
+  virtual void on_reduce_plan_cleared(Job& job) { (void)job; }
+
+  // ----- audit hook ---------------------------------------------------------
+  /// Re-derive any incremental caches from first principles and compare:
+  /// return an empty string when coherent, else a description of the first
+  /// divergence (the invariant auditor turns it into an AuditFailure).
+  [[nodiscard]] virtual std::string audit_invariants(
+      const std::vector<Job*>& active_jobs) const {
+    (void)active_jobs;
+    return {};
+  }
 
  protected:
   /// Whether `job`'s reduces are eligible for placement under this

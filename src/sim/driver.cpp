@@ -29,6 +29,7 @@ SimulationDriver::SimulationDriver(SimConfig cfg, std::vector<JobSpec> workload,
   COSCHED_CHECK(scheduler_ != nullptr);
   cfg_.topo.validate();
   net_.eps().set_rate_engine(cfg_.eps_engine);
+  scheduler_->set_sched_engine(cfg_.sched_engine);
   if (cfg_.audit) {
     audit_ = std::make_unique<InvariantAuditor>(sim_, net_, cluster_,
                                                 sunflow_, cfg_.topo);
@@ -101,7 +102,8 @@ void SimulationDriver::register_counters() {
 SchedContext SimulationDriver::make_context() {
   return SchedContext{sim_.now(), cfg_.topo, cluster_,
                       active_jobs_, *this,   rng_,
-                      cfg_.reduce_slowstart,  cfg_.obs};
+                      cfg_.reduce_slowstart,  cfg_.obs,
+                      cfg_.faults.trem_error_or(cfg_.trem_error_rate) > 0.0};
 }
 
 RunMetrics SimulationDriver::run() {
@@ -316,7 +318,10 @@ void SimulationDriver::dispatch() {
     }
   }
 
-  if (audit_) audit_->check_light();
+  if (audit_) {
+    audit_->check_light();
+    audit_->check_scheduler(*scheduler_, active_jobs_);
+  }
 
   // A scheduler may decline offers it could accept later without any
   // triggering event (delay scheduling waiting for locality). Re-offer on
@@ -367,6 +372,7 @@ void SimulationDriver::start_task(Job& job, Task& task, RackId rack,
 
   if (task.kind() == TaskKind::kMap) {
     job.note_map_placed(rack);
+    scheduler_->on_task_placed(job, task, rack);
     if (!job.map_local_on(task.index(), rack)) {
       // Remote read: fetching the block over the network, modeled as a
       // deterministic NIC-limited delay (small flows are not worth pushing
@@ -388,6 +394,7 @@ void SimulationDriver::start_task(Job& job, Task& task, RackId rack,
   // Reduce task: occupies the container; shuffle demand materializes per
   // the scheduler's reduce semantics.
   job.note_reduce_placed(rack);
+  scheduler_->on_task_placed(job, task, rack);
   apply_attempt_faults(job, task);
   if (scheduler_->defers_reduces()) {
     COSCHED_CHECK_MSG(job.all_maps_done(),
@@ -431,6 +438,7 @@ void SimulationDriver::on_map_complete(Job& job, Task& task) {
   trem_.forget(task.id());
   if (faults_.has_container_kill()) completion_events_.erase(task.id());
   job.note_map_completed(task.rack(), job.spec().map_output_size());
+  scheduler_->on_task_completed(job, task, task.rack());
 
   if (job.all_maps_done()) {
     SchedContext ctx = make_context();
@@ -660,6 +668,7 @@ void SimulationDriver::on_task_killed(Job& job, Task& task) {
     job.requeue_reduce(task.index(), rack);
     ++faults_.stats().reduces_killed;
   }
+  scheduler_->on_task_requeued(job, task, rack);
   ++pending_tasks_;
   request_dispatch();
 }
@@ -730,6 +739,7 @@ void SimulationDriver::on_reduce_complete(Job& job, Task& task) {
   trem_.forget(task.id());
   if (faults_.has_container_kill()) completion_events_.erase(task.id());
   job.note_reduce_completed();
+  scheduler_->on_task_completed(job, task, task.rack());
   if (job.work_done()) finish_job(job);
   request_dispatch();
 }
@@ -749,6 +759,7 @@ void SimulationDriver::finish_job(Job& job) {
   auto it = std::find(active_jobs_.begin(), active_jobs_.end(), &job);
   COSCHED_CHECK(it != active_jobs_.end());
   active_jobs_.erase(it);
+  scheduler_->on_job_completed(job);
 }
 
 bool SimulationDriver::break_deadlock() {
@@ -763,6 +774,7 @@ bool SimulationDriver::break_deadlock() {
     if (job->all_reduces_placed()) continue;
     if (job->has_reduce_plan()) {
       job->clear_reduce_plan();
+      scheduler_->on_reduce_plan_cleared(*job);
       changed = true;
     }
     if (job->reduces_placed() > 0 && !job->shuffle_released()) {

@@ -92,6 +92,11 @@ struct SimConfig {
   /// Which EPS rate engine computes max-min shares. kGrouped is the
   /// production fast path; the fuzzer cross-checks it against kReference.
   EpsFabric::RateEngine eps_engine = EpsFabric::RateEngine::kGrouped;
+  /// Which scheduler decision engine runs (schedulers without an
+  /// incremental path ignore it). kIncremental is the production fast
+  /// path; the fuzzer and the sched-equivalence suite cross-check it
+  /// against kReference bit for bit, exactly like eps_engine.
+  SchedEngine sched_engine = SchedEngine::kIncremental;
 };
 
 class SimulationDriver : public AvailabilityOracle {

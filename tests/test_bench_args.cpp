@@ -180,6 +180,59 @@ TEST(BenchArgsParse, RejectsNegativeSeedInsteadOfWrapping) {
   EXPECT_FALSE(parse({"--seed=+7"}).has_value());
 }
 
+TEST(BenchArgsParse, SchedEngineFlagParses) {
+  const auto defaults = parse({});
+  ASSERT_TRUE(defaults.has_value());
+  EXPECT_EQ(defaults->sched_engine, SchedEngine::kIncremental);
+
+  const auto ref = parse({"--sched-engine=reference"});
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(ref->sched_engine, SchedEngine::kReference);
+  EXPECT_EQ(paper_config(*ref).sim.sched_engine, SchedEngine::kReference);
+
+  const auto inc = parse({"--sched-engine=incremental"});
+  ASSERT_TRUE(inc.has_value());
+  EXPECT_EQ(inc->sched_engine, SchedEngine::kIncremental);
+  EXPECT_EQ(paper_config(*inc).sim.sched_engine, SchedEngine::kIncremental);
+}
+
+TEST(BenchArgsParse, RejectsUnknownSchedEngine) {
+  // Anything but the two exact engine names is a loud error — no silent
+  // fallback to the default engine (the laundering this suite exists for).
+  std::string error;
+  EXPECT_FALSE(parse({"--sched-engine=fast"}, &error).has_value());
+  EXPECT_NE(error.find("--sched-engine"), std::string::npos);
+  EXPECT_NE(error.find("fast"), std::string::npos);
+  EXPECT_FALSE(parse({"--sched-engine="}).has_value());
+  EXPECT_FALSE(parse({"--sched-engine=Incremental"}).has_value());
+  EXPECT_FALSE(parse({"--sched-engine=incremental "}).has_value());
+  EXPECT_FALSE(parse({"--sched-engine=reference0"}).has_value());
+}
+
+TEST(BenchArgsParse, EpsEngineFlagParses) {
+  const auto defaults = parse({});
+  ASSERT_TRUE(defaults.has_value());
+  EXPECT_EQ(defaults->eps_engine, EpsFabric::RateEngine::kGrouped);
+
+  const auto ref = parse({"--eps-engine=reference"});
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(ref->eps_engine, EpsFabric::RateEngine::kReference);
+  EXPECT_EQ(paper_config(*ref).sim.eps_engine,
+            EpsFabric::RateEngine::kReference);
+
+  const auto grouped = parse({"--eps-engine=grouped"});
+  ASSERT_TRUE(grouped.has_value());
+  EXPECT_EQ(grouped->eps_engine, EpsFabric::RateEngine::kGrouped);
+}
+
+TEST(BenchArgsParse, RejectsUnknownEpsEngine) {
+  std::string error;
+  EXPECT_FALSE(parse({"--eps-engine=incremental"}, &error).has_value());
+  EXPECT_NE(error.find("--eps-engine"), std::string::npos);
+  EXPECT_FALSE(parse({"--eps-engine="}).has_value());
+  EXPECT_FALSE(parse({"--eps-engine=Grouped"}).has_value());
+}
+
 TEST(BenchArgsParse, AuditFlagToggles) {
   const auto defaults = parse({});
   ASSERT_TRUE(defaults.has_value());

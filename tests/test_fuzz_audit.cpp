@@ -2,8 +2,10 @@
 // audit). Each iteration draws a seeded random topology x workload x fault
 // plan x scheduler x thread count, runs it with every invariant check
 // armed, and cross-checks the production fast paths against their
-// references: grouped vs per-flow EPS rate engines, and serial vs parallel
-// experiment sharding, both bit for bit.
+// references: grouped vs per-flow EPS rate engines, incremental vs
+// reference scheduler engines (alone and combined — the full 4-way
+// sched x rate matrix), and serial vs parallel experiment sharding, all
+// bit for bit.
 //
 // Environment knobs (all optional; tools/fuzz_sim.py drives them):
 //   COSCHED_FUZZ_RUNS       iterations (default 4 — keeps tier-1 fast)
@@ -192,13 +194,24 @@ TEST(FuzzAudit, RandomConfigsHoldEveryInvariant) {
       expect_bitwise_equal(serial, sharded, "serial-vs-parallel");
     }
 
-    // The per-flow reference engine must agree bit for bit with the
-    // grouped fast path (audited too).
-    ExperimentConfig ref_cfg = c.cfg;
-    ref_cfg.sim.eps_engine = EpsFabric::RateEngine::kReference;
-    const std::vector<RunMetrics> reference =
-        run_repetitions(ref_cfg, factory);
-    expect_bitwise_equal(serial, reference, "grouped-vs-reference");
+    // Cross the engine axes: every fast path must agree bit for bit with
+    // its reference, alone and combined (the serial run above is
+    // incremental-sched x grouped-rates, so these three cover the 4-way
+    // sched x rate engine matrix).
+    ExperimentConfig eps_ref = c.cfg;
+    eps_ref.sim.eps_engine = EpsFabric::RateEngine::kReference;
+    expect_bitwise_equal(serial, run_repetitions(eps_ref, factory),
+                         "grouped-vs-reference");
+
+    ExperimentConfig sched_ref = c.cfg;
+    sched_ref.sim.sched_engine = SchedEngine::kReference;
+    expect_bitwise_equal(serial, run_repetitions(sched_ref, factory),
+                         "sched-incremental-vs-reference");
+
+    ExperimentConfig both_ref = sched_ref;
+    both_ref.sim.eps_engine = EpsFabric::RateEngine::kReference;
+    expect_bitwise_equal(serial, run_repetitions(both_ref, factory),
+                         "both-engines-reference");
   }
 }
 

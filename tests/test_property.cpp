@@ -4,13 +4,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <limits>
+#include <map>
 #include <string>
 #include <tuple>
+#include <utility>
 
 #include "cluster/trem_estimator.h"
 #include "coflow/cct_bound.h"
 #include "common/rng.h"
+#include "sched/best_rack_heap.h"
 #include "sched/coscheduler.h"
 #include "sim/experiment.h"
 #include "workload/generator.h"
@@ -441,6 +446,207 @@ TEST(SbsProperty, ExplorationIsDeterministic) {
     EXPECT_EQ(a[i].cct.sec(), b[i].cct.sec());
     EXPECT_EQ(a[i].t_max.sec(), b[i].t_max.sec());
   }
+}
+
+// ---- BestRackHeap: the incremental SBS engine's lazy min-heap. ----------
+
+/// Brute-force mirror of the heap's contract: the live (rack, key) map,
+/// argmin scanned in (key, rack-id) order like the reference SBS scan.
+struct BruteBest {
+  std::map<RackId, double> keys;
+
+  [[nodiscard]] RackId best() const {
+    // Rack-ascending first-strict-min scan; an infinite key still wins over
+    // no key at all — the heap keeps infinity entries (SBS filters them).
+    RackId arg = RackId::invalid();
+    double best_key = 0.0;
+    for (const auto& [rack, key] : keys) {
+      if (arg == RackId::invalid() || key < best_key) {
+        best_key = key;
+        arg = rack;
+      }
+    }
+    return arg;
+  }
+};
+
+TEST(BestRackHeapProperty, MatchesBruteForceUnderArbitraryChurn) {
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::int32_t num_racks =
+        static_cast<std::int32_t>(rng.uniform_int(1, 12));
+    BestRackHeap heap(num_racks);
+    BruteBest brute;
+    for (int op = 0; op < 300; ++op) {
+      const std::int64_t kind = rng.uniform_int(0, 9);
+      if (kind < 6) {
+        // update (fresh or overwrite), with deliberate duplicate keys so
+        // the rack-id tie-break is exercised, plus infinities.
+        const RackId rack{rng.uniform_int(0, num_racks - 1)};
+        double key = rng.uniform_int(0, 1) == 0
+                         ? static_cast<double>(rng.uniform_int(0, 5))
+                         : rng.uniform(0.0, 100.0);
+        if (rng.uniform_int(0, 9) == 0) {
+          key = std::numeric_limits<double>::infinity();
+        }
+        heap.update(rack, key);
+        brute.keys[rack] = key;
+      } else if (kind < 8) {
+        const RackId expect = brute.best();
+        ASSERT_EQ(heap.best(), expect) << "trial " << trial << " op " << op;
+        if (expect != RackId::invalid()) {
+          ASSERT_EQ(heap.best_key(), brute.keys.at(expect));
+        }
+      } else {
+        const RackId expect = brute.best();
+        ASSERT_EQ(heap.pop_best(), expect) << "trial " << trial << " op "
+                                           << op;
+        if (expect != RackId::invalid()) brute.keys.erase(expect);
+      }
+      ASSERT_EQ(heap.empty(), brute.keys.empty());
+    }
+    // Drain: pops must come out in exact (key, rack-id) order.
+    while (!brute.keys.empty()) {
+      const RackId expect = brute.best();
+      ASSERT_EQ(heap.pop_best(), expect);
+      brute.keys.erase(expect);
+    }
+    ASSERT_TRUE(heap.empty());
+    ASSERT_EQ(heap.pop_best(), RackId::invalid());
+  }
+}
+
+// ---- explore_schedules_incremental: bit-equality + memoization. ---------
+
+/// Wraps any oracle, counting queries per (rack, count) pair — the probe
+/// for the memoization contract (each pair estimated at most once per
+/// pass, and a fresh pass re-queries rather than reusing stale answers).
+class CountingAvailability : public AvailabilityOracle {
+ public:
+  explicit CountingAvailability(AvailabilityOracle& inner) : inner_(inner) {}
+
+  Duration estimate_availability(RackId rack, std::int64_t count) override {
+    ++calls_[{rack.value(), count}];
+    ++total_;
+    return inner_.estimate_availability(rack, count);
+  }
+
+  [[nodiscard]] std::int64_t max_calls_per_pair() const {
+    std::int64_t m = 0;
+    for (const auto& [pair, n] : calls_) m = std::max(m, n);
+    return m;
+  }
+  [[nodiscard]] std::int64_t total() const { return total_; }
+  void reset() {
+    calls_.clear();
+    total_ = 0;
+  }
+
+ private:
+  AvailabilityOracle& inner_;
+  std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> calls_;
+  std::int64_t total_ = 0;
+};
+
+void expect_explorations_equal(const std::vector<ExploredSchedule>& a,
+                               const std::vector<ExploredSchedule>& b,
+                               const std::string& where) {
+  ASSERT_EQ(a.size(), b.size()) << where;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::string at = where + " candidate " + std::to_string(i);
+    EXPECT_EQ(a[i].plan, b[i].plan) << at;
+    EXPECT_EQ(a[i].d, b[i].d) << at;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i].cct.sec()),
+              std::bit_cast<std::uint64_t>(b[i].cct.sec()))
+        << at;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i].t_max.sec()),
+              std::bit_cast<std::uint64_t>(b[i].t_max.sec()))
+        << at;
+  }
+}
+
+TEST(SbsIncrementalProperty, BitEqualToReferenceOnRandomOracles) {
+  Rng rng(77);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<DataSize> sm;
+    const auto map_racks = static_cast<std::size_t>(rng.uniform_int(1, 3));
+    for (std::size_t i = 0; i < map_racks; ++i) {
+      sm.push_back(kTe * rng.uniform(1.0, 10.0));
+    }
+    const auto num_reduces =
+        static_cast<std::int32_t>(rng.uniform_int(1, 12));
+    const std::int32_t num_racks =
+        static_cast<std::int32_t>(rng.uniform_int(2, 10));
+    const auto schedules = possible_reduce_schedules(
+        sm, num_reduces, kTe, kOcsRate, kDelta, num_racks);
+    if (schedules.empty()) continue;
+
+    // Scripted base waits, some racks permanently unavailable so both the
+    // feasible and the infeasible-candidate paths get compared.
+    std::vector<double> base;
+    for (std::int32_t r = 0; r < num_racks; ++r) {
+      base.push_back(rng.uniform_int(0, 4) == 0
+                         ? std::numeric_limits<double>::infinity()
+                         : rng.uniform(0.0, 60.0));
+    }
+    ScriptedAvailability oracle(base, /*per_container=*/2.0);
+
+    const auto ref = explore_schedules(schedules, num_racks, oracle);
+    for (const bool noisy : {false, true}) {
+      const auto inc = explore_schedules_incremental(schedules, num_racks,
+                                                     oracle, noisy);
+      expect_explorations_equal(
+          ref, inc,
+          "trial " + std::to_string(trial) + (noisy ? " noisy" : " clean"));
+    }
+  }
+}
+
+TEST(SbsIncrementalProperty, EachRackCountPairQueriedAtMostOncePerPass) {
+  const std::vector<DataSize> sm{kTe * 6.0, kTe * 3.0};
+  const auto schedules =
+      possible_reduce_schedules(sm, 8, kTe, kOcsRate, kDelta, 12);
+  ASSERT_GT(schedules.size(), 1u);  // several candidates share counts
+  ScriptedAvailability inner({5, 1, 9, 2, 8, 3, 7, 4, 6, 0, 10, 11}, 2.0);
+
+  for (const bool noisy : {false, true}) {
+    CountingAvailability counting(inner);
+    const auto first =
+        explore_schedules_incremental(schedules, 12, counting, noisy);
+    EXPECT_EQ(counting.max_calls_per_pair(), 1)
+        << (noisy ? "noisy" : "clean")
+        << " pass re-queried a memoized (rack, count) pair";
+    const std::int64_t first_total = counting.total();
+    EXPECT_GT(first_total, 0);
+
+    // A new pass must not reuse the old pass's answers: cluster and T_rem
+    // state change between passes, so every answer is invalidated.
+    const auto second =
+        explore_schedules_incremental(schedules, 12, counting, noisy);
+    EXPECT_EQ(counting.total(), 2 * first_total)
+        << (noisy ? "noisy" : "clean")
+        << " pass reused answers across passes";
+    expect_explorations_equal(first, second, "pass-to-pass");
+  }
+}
+
+TEST(SbsIncrementalProperty, ReferenceRepeatsQueriesTheFastPathMemoizes) {
+  // The point of the memo: the reference pass asks the oracle about the
+  // same (rack, count) pair once per candidate sharing that count. Pin
+  // that the fast path is a strict improvement whenever candidates share
+  // counts (here every candidate queries every rack at count >= 1).
+  const std::vector<DataSize> sm{kTe * 6.0, kTe * 3.0};
+  const auto schedules =
+      possible_reduce_schedules(sm, 8, kTe, kOcsRate, kDelta, 12);
+  ASSERT_GT(schedules.size(), 1u);
+  ScriptedAvailability inner({5, 1, 9, 2, 8, 3, 7, 4, 6, 0, 10, 11}, 2.0);
+
+  CountingAvailability ref_count(inner);
+  (void)explore_schedules(schedules, 12, ref_count);
+  CountingAvailability inc_count(inner);
+  (void)explore_schedules_incremental(schedules, 12, inc_count, false);
+  EXPECT_GT(ref_count.max_calls_per_pair(), 1);
+  EXPECT_LT(inc_count.total(), ref_count.total());
 }
 
 }  // namespace

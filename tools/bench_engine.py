@@ -3,12 +3,18 @@
 
 Two modes:
 
-  run    (default) Execute bench_micro_net and bench_micro_simcore from a
-         build directory, merge the fresh numbers with the committed
-         pre-optimization baselines (results/bench_*_before.json), compute
-         per-benchmark speedups, and write BENCH_engine.json.
+  run    (default) Execute bench_micro_net, bench_micro_simcore, and
+         bench_micro_sched from a build directory, merge the fresh numbers
+         with the committed pre-optimization baselines
+         (results/bench_*_before.json), compute per-benchmark speedups,
+         and write BENCH_engine.json.
 
-  check  Execute both benches with a short --benchmark_min_time and compare
+         The bench_micro_sched "before" baseline was generated with
+         COSCHED_SCHED_BENCH_FORCE_REFERENCE=1, which makes the
+         incrementally-named scheduler benchmarks run the reference engine
+         — same binary, same names, honest before/after.
+
+  check  Execute the benches with a short --benchmark_min_time and compare
          against the "after" numbers committed in BENCH_engine.json. Exits
          non-zero when a bench crashes or any benchmark regressed by more
          than --max-regression (default 3x). Intended as a CI smoke guard,
@@ -29,6 +35,7 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SUITES = {
     "bench_micro_net": "results/bench_net_before.json",
     "bench_micro_simcore": "results/bench_simcore_before.json",
+    "bench_micro_sched": "results/bench_sched_before.json",
 }
 
 _NS_PER = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -109,6 +116,22 @@ def cmd_run(args):
         if new and old and new["real_time_ns"] > 0:
             inbin[arg] = round(old["real_time_ns"] / new["real_time_ns"], 3)
     doc["eps_replan_speedup_vs_reference_engine"] = inbin
+    # Same in-binary trick for the scheduler engines: incremental vs
+    # reference full-run dispatch cost and one SBS exploration pass.
+    sched = doc["suites"].get("bench_micro_sched", {}).get("after", {})
+    sched_inbin = {}
+    for arg in ("200", "500"):
+        new = sched.get(f"BM_SchedDispatchRun/{arg}")
+        old = sched.get(f"BM_SchedDispatchRunReference/{arg}")
+        if new and old and new["real_time_ns"] > 0:
+            sched_inbin[arg] = round(
+                old["real_time_ns"] / new["real_time_ns"], 3)
+    new = sched.get("BM_SbsExplorePass")
+    old = sched.get("BM_SbsExplorePassReference")
+    if new and old and new["real_time_ns"] > 0:
+        sched_inbin["sbs_explore"] = round(
+            old["real_time_ns"] / new["real_time_ns"], 3)
+    doc["sched_dispatch_speedup_vs_reference_engine"] = sched_inbin
     with open(args.out, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
         f.write("\n")

@@ -6,9 +6,11 @@ COSCHED_FUZZ_SEED_BASE, so every seed gets its own process: one crashing or
 invariant-violating configuration cannot mask the seeds after it, and the
 failing seed is known exactly. The binary derives the whole configuration
 (topology, workload, fault plan, scheduler, thread count) from the seed, runs
-it with the invariant auditor armed, and cross-checks the grouped EPS rate
-engine against the per-flow reference and serial sharding against parallel,
-bit for bit.
+it with the invariant auditor armed, and cross-checks serial sharding against
+parallel plus the full engine matrix — grouped-vs-reference EPS rates,
+incremental-vs-reference scheduler decisions, and both references together —
+bit for bit, so every seed exercises both the rate and the scheduler engine
+axes (DESIGN.md sections 9 and 10).
 
 On failure the full test output — including the auditor's structured dump and
 the seed recipe line — is appended to --report (default fuzz_failures.txt) so
