@@ -31,6 +31,16 @@ int main(int argc, char** argv) {
   if (args.heartbeat_sec < 0.0) args.heartbeat_sec = 10.0;
   const ExperimentConfig cfg = paper_config(args);
 
+  const ScaleComboCheck combo =
+      check_scale_combo(args.jobs, cfg.sim.topo.num_racks);
+  if (!combo.ok) {
+    std::fprintf(stderr, "%s\n", combo.error.c_str());
+    return 2;
+  }
+  if (!combo.warning.empty()) {
+    std::fprintf(stderr, "warning: %s\n", combo.warning.c_str());
+  }
+
   PerfMonitor::set_enabled(true);
   PerfMonitor::instance().reset();
   if (args.profile) {
@@ -38,10 +48,12 @@ int main(int argc, char** argv) {
     Profiler::instance().reset();
   }
 
-  std::printf("bench_scale: %s (%s engine), %d jobs on %d racks, seed %llu\n",
-              args.sched.c_str(), to_string(args.sched_engine), args.jobs,
-              cfg.sim.topo.num_racks,
-              static_cast<unsigned long long>(args.seed));
+  std::printf(
+      "bench_scale: %s (%s engine, %s dispatch), %d jobs on %d racks, "
+      "seed %llu\n",
+      args.sched.c_str(), to_string(args.sched_engine),
+      to_string(args.dispatch_engine), args.jobs, cfg.sim.topo.num_racks,
+      static_cast<unsigned long long>(args.seed));
   SchedulerFactory factory;
   try {
     factory = make_scheduler_factory(args.sched);

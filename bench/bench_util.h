@@ -40,6 +40,9 @@
 //                         recompute oracle) — bit-identical results
 //   --eps-engine=NAME     EPS max-min engine: grouped (default) or
 //                         reference — bit-identical results
+//   --dispatch-engine=NAME driver dispatch engine: offer-queue (default,
+//                         event-driven free-rack set) or scan (the
+//                         O(racks) round-robin oracle) — bit-identical
 #pragma once
 
 #include <algorithm>
@@ -131,6 +134,8 @@ struct BenchArgs {
   SchedEngine sched_engine = SchedEngine::kIncremental;
   /// EPS rate engine (--eps-engine=grouped|reference).
   EpsFabric::RateEngine eps_engine = EpsFabric::RateEngine::kGrouped;
+  /// Driver dispatch engine (--dispatch-engine=offer-queue|scan).
+  DispatchEngine dispatch_engine = DispatchEngine::kOfferQueue;
   /// 1 = serial (default), 0 = all hardware threads, N > 1 = N workers.
   std::int32_t threads = 1;
   std::string trace_out;
@@ -250,6 +255,17 @@ struct BenchArgs {
                    std::string(eps_eng) + "'";
           return std::nullopt;
         }
+      } else if (const char* de = value("--dispatch-engine=")) {
+        if (std::strcmp(de, "offer-queue") == 0) {
+          args.dispatch_engine = DispatchEngine::kOfferQueue;
+        } else if (std::strcmp(de, "scan") == 0) {
+          args.dispatch_engine = DispatchEngine::kScan;
+        } else {
+          *error = "--dispatch-engine expects 'offer-queue' or 'scan', "
+                   "got '" +
+                   std::string(de) + "'";
+          return std::nullopt;
+        }
       } else if (const char* trace = value("--trace-out=")) {
         args.trace_out = trace;
       } else if (const char* counters = value("--counters-out=")) {
@@ -281,6 +297,8 @@ struct BenchArgs {
         "          [--sched-engine=incremental|reference (default "
         "incremental)]\n"
         "          [--eps-engine=grouped|reference (default grouped)]\n"
+        "          [--dispatch-engine=offer-queue|scan (default "
+        "offer-queue)]\n"
         "          [--faults=SPEC (see docs/FAULTS.md)]\n"
         "          [--audit | --no-audit (invariant auditor; default %s)]\n"
         "          [--trace-out=PATH] [--counters-out=PATH]\n"
@@ -307,6 +325,41 @@ struct BenchArgs {
   }
 };
 
+/// bench_scale's --jobs/--racks combination check, beyond per-flag
+/// parsing: rejects non-positive values outright (the parser already
+/// enforces jobs >= 1 and racks >= 2, but the helper is the single source
+/// of truth for programmatic callers and tests), and warns when the sweep
+/// point cannot keep the topology busy — fewer jobs than racks leaves
+/// racks idle for the entire run, so per-rack scaling numbers from that
+/// combo are noise, not signal.
+struct ScaleComboCheck {
+  bool ok = true;
+  std::string error;    ///< set when !ok (combo rejected)
+  std::string warning;  ///< set when ok but the combo is degenerate
+};
+
+inline ScaleComboCheck check_scale_combo(std::int32_t jobs,
+                                         std::int32_t racks) {
+  ScaleComboCheck check;
+  if (racks <= 0) {
+    check.ok = false;
+    check.error = "--racks must be positive, got " + std::to_string(racks);
+    return check;
+  }
+  if (jobs <= 0) {
+    check.ok = false;
+    check.error = "--jobs must be positive, got " + std::to_string(jobs);
+    return check;
+  }
+  if (jobs < racks) {
+    check.warning = "only " + std::to_string(jobs) + " jobs across " +
+                    std::to_string(racks) +
+                    " racks: most racks will sit idle, so per-rack scaling "
+                    "numbers from this combo are not meaningful";
+  }
+  return check;
+}
+
 /// The paper's experimental setting (Section V-A): 60 racks x 10 servers,
 /// 20 containers/server, 10 Gb/s NICs, 10:1 oversubscription, 100 Gb/s OCS,
 /// delta = 10 ms, T_e = 1.125 GB, 1000 jobs in [0, 90] min, 20 users.
@@ -326,6 +379,7 @@ inline ExperimentConfig paper_config(const BenchArgs& args) {
   cfg.sim.audit = args.audit;
   cfg.sim.sched_engine = args.sched_engine;
   cfg.sim.eps_engine = args.eps_engine;
+  cfg.sim.dispatch_engine = args.dispatch_engine;
   cfg.sim.heartbeat_sec = std::max(0.0, args.heartbeat_sec);
   return cfg;
 }

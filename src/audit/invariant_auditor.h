@@ -114,6 +114,10 @@ class InvariantAuditor {
   /// A no-op for reference engines, which return an empty report.
   void check_scheduler(const JobScheduler& sched,
                        const std::vector<Job*>& active_jobs);
+  /// Offer-queue coherence: the driver passes OfferQueue::audit()'s
+  /// self-report (free-set vs cluster free_slots, decline-stamp sanity) so
+  /// the audit library stays independent of sim headers. Empty = coherent.
+  void check_offer_queue(const std::string& report);
   /// End-of-run: heavy check plus emptiness — no granted containers, no
   /// incomplete tracked flow, no un-drained bits.
   void final_check();

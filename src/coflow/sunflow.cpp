@@ -1,7 +1,6 @@
 #include "coflow/sunflow.h"
 
 #include <algorithm>
-#include <set>
 #include <utility>
 
 #include "coflow/matching.h"
@@ -129,8 +128,17 @@ void SunflowScheduler::allocation_pass() {
   // low-priority transfer can slip onto a port during the few milliseconds
   // the head coflow spends waiting for its matching port to reconfigure,
   // inverting Sunflow's shortest-coflow-first order.
-  std::set<RackId> reserved_out;
-  std::set<RackId> reserved_in;
+  const auto num_racks = static_cast<std::size_t>(net_.ocs().num_ports());
+  if (reserved_out_.size() < num_racks) {
+    reserved_out_.resize(num_racks, 0);
+    reserved_in_.resize(num_racks, 0);
+    src_seen_.resize(num_racks, 0);
+    dst_seen_.resize(num_racks, 0);
+    src_slot_.resize(num_racks, 0);
+    dst_slot_.resize(num_racks, 0);
+  }
+  std::fill(reserved_out_.begin(), reserved_out_.end(), 0);
+  std::fill(reserved_in_.begin(), reserved_in_.end(), 0);
   for (CoflowId cid : order_) {
     CoflowEntry& entry = entries_.at(cid);
     if (entry.pending.empty()) continue;
@@ -139,37 +147,44 @@ void SunflowScheduler::allocation_pass() {
     // currently-free ports: a maximum bipartite matching between free
     // source output ports and free destination input ports. This is what
     // lets an all-to-all shuffle use rotations of simultaneous circuits
-    // instead of serializing (Goal-2 / Figure 2 of the paper).
-    std::vector<RackId> srcs;
-    std::vector<RackId> dsts;
-    std::map<RackId, std::size_t> src_idx;
-    std::map<RackId, std::size_t> dst_idx;
+    // instead of serializing (Goal-2 / Figure 2 of the paper). srcs_/dsts_
+    // collect eligible racks in first-seen pending order, exactly as the
+    // former std::map emplace did.
+    ++scratch_gen_;
+    srcs_.clear();
+    dsts_.clear();
     for (Flow* f : entry.pending) {
+      const auto s = static_cast<std::size_t>(f->src().value());
+      const auto d = static_cast<std::size_t>(f->dst().value());
       if (!net_.ocs().out_port_free(f->src()) ||
           !net_.ocs().in_port_free(f->dst()) ||
-          reserved_out.count(f->src()) > 0 ||
-          reserved_in.count(f->dst()) > 0) {
+          reserved_out_[s] != 0 || reserved_in_[d] != 0) {
         continue;
       }
-      if (src_idx.emplace(f->src(), srcs.size()).second) {
-        srcs.push_back(f->src());
+      if (src_seen_[s] != scratch_gen_) {
+        src_seen_[s] = scratch_gen_;
+        src_slot_[s] = srcs_.size();
+        srcs_.push_back(f->src());
       }
-      if (dst_idx.emplace(f->dst(), dsts.size()).second) {
-        dsts.push_back(f->dst());
+      if (dst_seen_[d] != scratch_gen_) {
+        dst_seen_[d] = scratch_gen_;
+        dst_slot_[d] = dsts_.size();
+        dsts_.push_back(f->dst());
       }
     }
-    if (srcs.empty() || dsts.empty()) {
+    if (srcs_.empty() || dsts_.empty()) {
       for (Flow* f : entry.pending) {
-        reserved_out.insert(f->src());
-        reserved_in.insert(f->dst());
+        reserved_out_[static_cast<std::size_t>(f->src().value())] = 1;
+        reserved_in_[static_cast<std::size_t>(f->dst().value())] = 1;
       }
       continue;
     }
 
     // Flows are aggregated per rack pair within a coflow, so at most one
     // pending flow exists per (src, dst) edge.
-    std::map<std::pair<RackId, RackId>, Flow*> edge_flow;
-    BipartiteGraph graph(srcs.size(), dsts.size());
+    if (adj_.size() < srcs_.size()) adj_.resize(srcs_.size());
+    for (std::size_t i = 0; i < srcs_.size(); ++i) adj_[i].clear();
+    BipartiteGraph graph(srcs_.size(), dsts_.size());
     // Deterministic edge order: sort pending by (src, dst).
     std::sort(entry.pending.begin(), entry.pending.end(),
               [](const Flow* a, const Flow* b) {
@@ -177,18 +192,24 @@ void SunflowScheduler::allocation_pass() {
                        std::make_pair(b->src(), b->dst());
               });
     for (Flow* f : entry.pending) {
-      auto si = src_idx.find(f->src());
-      auto di = dst_idx.find(f->dst());
-      if (si == src_idx.end() || di == dst_idx.end()) continue;
-      graph.add_edge(si->second, di->second);
-      edge_flow[{f->src(), f->dst()}] = f;
+      const auto s = static_cast<std::size_t>(f->src().value());
+      const auto d = static_cast<std::size_t>(f->dst().value());
+      if (src_seen_[s] != scratch_gen_ || dst_seen_[d] != scratch_gen_) {
+        continue;
+      }
+      graph.add_edge(src_slot_[s], dst_slot_[d]);
+      adj_[src_slot_[s]].emplace_back(dst_slot_[d], f);
     }
     const MatchingResult match = maximum_bipartite_matching(graph);
 
-    for (std::size_t i = 0; i < srcs.size(); ++i) {
+    for (std::size_t i = 0; i < srcs_.size(); ++i) {
       const std::size_t j = match.match_left[i];
       if (j == MatchingResult::kUnmatched) continue;
-      Flow* flow = edge_flow.at({srcs[i], dsts[j]});
+      Flow* flow = nullptr;
+      for (const auto& [dj, f] : adj_[i]) {
+        if (dj == j) flow = f;  // last match mirrors the former map overwrite
+      }
+      COSCHED_CHECK(flow != nullptr);
       entry.pending.erase(
           std::remove(entry.pending.begin(), entry.pending.end(), flow),
           entry.pending.end());
@@ -213,8 +234,8 @@ void SunflowScheduler::allocation_pass() {
     // Whatever this coflow could not start keeps its ports reserved
     // against lower-priority coflows.
     for (Flow* f : entry.pending) {
-      reserved_out.insert(f->src());
-      reserved_in.insert(f->dst());
+      reserved_out_[static_cast<std::size_t>(f->src().value())] = 1;
+      reserved_in_[static_cast<std::size_t>(f->dst().value())] = 1;
     }
   }
 }

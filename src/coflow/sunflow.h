@@ -10,7 +10,9 @@
 // coflows leave idle (work conservation).
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "coflow/circuit_scheduler.h"
@@ -100,6 +102,25 @@ class SunflowScheduler : public CircuitScheduler {
   double uncredited_settled_bits_ = 0.0;
   bool pass_scheduled_ = false;
   Observability* obs_ = nullptr;
+
+  // ----- allocation-pass scratch (flat, reused across passes) -------------
+  // The pass runs millions of times at 100k-job scale and node-based
+  // set/map scratch dominated its cost; these per-rack arrays replace them
+  // with identical iteration order (first-seen rack order, same edge
+  // order), so the matching — and therefore the simulation — is
+  // bit-identical. Generation stamps avoid clearing per coflow; contents
+  // are meaningless between passes and carry no scheduling state.
+  std::vector<char> reserved_out_;
+  std::vector<char> reserved_in_;
+  std::vector<std::uint64_t> src_seen_;
+  std::vector<std::uint64_t> dst_seen_;
+  std::vector<std::size_t> src_slot_;
+  std::vector<std::size_t> dst_slot_;
+  std::uint64_t scratch_gen_ = 0;
+  std::vector<RackId> srcs_;
+  std::vector<RackId> dsts_;
+  /// srcs_ index -> (dsts_ index, flow) edges, grouped by construction.
+  std::vector<std::vector<std::pair<std::size_t, Flow*>>> adj_;
 };
 
 }  // namespace cosched

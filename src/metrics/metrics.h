@@ -52,6 +52,11 @@ struct RunMetrics {
   DataSize local_bytes;
 
   std::uint64_t events_executed = 0;
+  /// Dispatch waves that actually scanned (pending work existed at entry).
+  /// Deterministic and engine-invariant: identical across rate, scheduler,
+  /// and dispatch engines — `run_report.py diff` pins it like
+  /// events_executed.
+  std::uint64_t dispatch_waves = 0;
 
   /// Fault accounting (all zero when the run had an empty fault plan).
   FaultSummary faults;

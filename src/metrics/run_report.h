@@ -24,7 +24,9 @@ namespace cosched {
 class CounterRegistry;
 
 inline constexpr const char* kRunReportSchema = "cosched.run_report";
-inline constexpr int kRunReportVersion = 1;
+/// v2 added metrics.dispatch_waves (the peak-RSS high-water mark has been
+/// top-level since v1); tools/run_report.py accepts both versions.
+inline constexpr int kRunReportVersion = 2;
 
 /// Run-level context that RunMetrics does not carry: workload/topology
 /// shape and the wall-clock envelope of the run.

@@ -31,6 +31,8 @@ class CorralScheduler : public JobScheduler {
 
   void on_job_submitted(Job& job, SchedContext& ctx) override;
   std::optional<TaskChoice> pick_task(RackId rack, SchedContext& ctx) override;
+  /// pick_task only scans job/cluster state; a decline mutates nothing.
+  [[nodiscard]] bool declines_are_stable() const override { return true; }
 
  private:
   Options opts_;

@@ -82,6 +82,83 @@ std::vector<PossibleSchedule> possible_reduce_schedules(
   return out;
 }
 
+std::vector<PossibleSchedule> possible_reduce_schedules_incremental(
+    const std::vector<DataSize>& sm, std::int32_t num_reduces,
+    DataSize elephant_threshold, Bandwidth ocs_rate, Duration reconfig_delay,
+    std::int32_t max_racks) {
+  std::vector<PossibleSchedule> out;
+  if (sm.empty() || num_reduces <= 0) return out;
+  std::vector<DataSize> sorted = sm;
+  std::sort(sorted.begin(), sorted.end());
+  const DataSize sm_min = sorted.front();
+  COSCHED_CHECK_MSG(sm_min >= elephant_threshold,
+                    "PSRT input must be pre-filtered to >= T_e");
+
+  const auto r_red_max = static_cast<std::int32_t>(std::min<std::int64_t>(
+      {sm_min.in_bytes() / elephant_threshold.in_bytes(),
+       static_cast<std::int64_t>(num_reduces),
+       static_cast<std::int64_t>(max_racks)}));
+
+  for (std::int32_t r_red = 1; r_red <= r_red_max; ++r_red) {
+    const auto d_min = static_cast<std::int32_t>(std::ceil(
+        static_cast<double>(elephant_threshold.in_bytes()) *
+        static_cast<double>(num_reduces) /
+        static_cast<double>(sm_min.in_bytes())));
+    if (static_cast<std::int64_t>(d_min) * r_red > num_reduces) {
+      continue;
+    }
+
+    std::vector<std::int32_t> d(static_cast<std::size_t>(r_red), d_min);
+    std::int32_t rem = num_reduces - d_min * r_red;
+    std::size_t next = 0;
+    while (rem > 0) {
+      d[next] += 1;
+      next = (next + 1) % d.size();
+      --rem;
+    }
+
+    // The reference builds the full m x r_red matrix with entries
+    //   c_ij = sorted[i] * (d[j] / num_reduces)    (exact int64, llround)
+    // and takes cct_lower_bound = max over rows/cols of
+    //   transfer_time(sum) + delta * degree.
+    // Every row has degree r_red and every column degree m, and the
+    // per-entry multiply is monotone in both factors (double multiply and
+    // llround are weakly monotone for positive operands), so:
+    //   * the binding row is the largest map rack's (sorted.back()), its
+    //     sum the exact integer sum of that row's entries;
+    //   * the binding column is any receiving d_max tasks, and the
+    //     round-robin fill always leaves the maximum at d[0].
+    // Recomputing exactly those two sums with the verbatim per-entry
+    // expressions reproduces the reference bound bit for bit.
+    DataSize row_sum_max;
+    for (std::size_t j = 0; j < d.size(); ++j) {
+      row_sum_max =
+          row_sum_max + sorted.back() * (static_cast<double>(d[j]) /
+                                         static_cast<double>(num_reduces));
+    }
+    DataSize col_sum_max;
+    const double d_max_share = static_cast<double>(d[0]) /
+                               static_cast<double>(num_reduces);
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      col_sum_max = col_sum_max + sorted[i] * d_max_share;
+    }
+    const Duration row_bound =
+        transfer_time(row_sum_max, ocs_rate) +
+        reconfig_delay * static_cast<double>(d.size());
+    const Duration col_bound =
+        transfer_time(col_sum_max, ocs_rate) +
+        reconfig_delay * static_cast<double>(sorted.size());
+    const Duration cct =
+        std::max(Duration::zero(), std::max(row_bound, col_bound));
+
+    PossibleSchedule ps;
+    ps.d = std::move(d);
+    ps.cct = cct;
+    out.push_back(std::move(ps));
+  }
+  return out;
+}
+
 std::int32_t mts_map_rack_guideline(DataSize input, double sir,
                                     DataSize elephant_threshold) {
   COSCHED_CHECK(elephant_threshold.in_bytes() > 0);
@@ -347,9 +424,16 @@ void CoScheduler::on_maps_completed(Job& job, SchedContext& ctx) {
 
   PerfScope perf(PerfPhase::kPsrtEnumerate);
   perf.set_size(sm.size());
-  const std::vector<PossibleSchedule> schedules = possible_reduce_schedules(
-      sm, job.spec().num_reduces, ctx.topo.elephant_threshold,
-      ctx.topo.ocs_link, ctx.topo.ocs_reconfig_delay, ctx.topo.num_racks);
+  const std::vector<PossibleSchedule> schedules =
+      engine_ == SchedEngine::kIncremental
+          ? possible_reduce_schedules_incremental(
+                sm, job.spec().num_reduces, ctx.topo.elephant_threshold,
+                ctx.topo.ocs_link, ctx.topo.ocs_reconfig_delay,
+                ctx.topo.num_racks)
+          : possible_reduce_schedules(
+                sm, job.spec().num_reduces, ctx.topo.elephant_threshold,
+                ctx.topo.ocs_link, ctx.topo.ocs_reconfig_delay,
+                ctx.topo.num_racks);
   if (schedules.empty()) return;
 
   select_best_schedule(job, schedules, map_racks, ctx);
@@ -492,6 +576,8 @@ std::optional<TaskChoice> CoScheduler::pick_task_incremental(
   const auto num_racks = static_cast<std::size_t>(ctx.topo.num_racks);
   if (no_grant_epoch_.size() < num_racks) no_grant_epoch_.resize(num_racks, 0);
   const auto ri = static_cast<std::size_t>(rack.value());
+  // A memo hit proves only this rack declined at this epoch.
+  last_decline_global_ = false;
   if (no_grant_epoch_[ri] == epoch_) return std::nullopt;
 
   // Fair user order over the tracked users. fair_user_order stable-sorts a
@@ -516,6 +602,12 @@ std::optional<TaskChoice> CoScheduler::pick_task_incremental(
     if (auto choice = scan_user(*state, rack, ctx)) return choice;
   }
   no_grant_epoch_[ri] = epoch_;
+  // Empty order means no user had any candidate at all — a condition that
+  // never mentioned the offered rack, so this nullopt holds for every rack
+  // until the next epoch bump. This is the common steady-state shape (all
+  // placed tasks are running, nothing is releasable), and it lets the
+  // offer-queue engine end the wave after this single pick.
+  last_decline_global_ = order.empty();
   return std::nullopt;
 }
 

@@ -60,6 +60,23 @@ struct PossibleSchedule {
     DataSize elephant_threshold, Bandwidth ocs_rate, Duration reconfig_delay,
     std::int32_t max_racks);
 
+/// The incremental-engine PSRT enumeration: bit-identical output to
+/// possible_reduce_schedules without materializing any traffic matrix.
+/// Per candidate R_red the reference builds an m x R_red matrix (m = map
+/// racks) only to take its CCT lower bound; but every entry is the exact
+/// integer llround(SM_i * d_j / R), monotone in both SM_i and d_j, so the
+/// binding row is always the largest map rack's and the binding column is
+/// always one receiving d_max = d[0] tasks — the bound collapses to two
+/// exact integer sums, O(m + R_red) per candidate instead of
+/// O(m * R_red * log) map inserts (DESIGN.md §11).
+[[nodiscard]] std::vector<PossibleSchedule>
+possible_reduce_schedules_incremental(const std::vector<DataSize>& sm,
+                                      std::int32_t num_reduces,
+                                      DataSize elephant_threshold,
+                                      Bandwidth ocs_rate,
+                                      Duration reconfig_delay,
+                                      std::int32_t max_racks);
+
 /// MTS's map-rack guideline (Section IV-C), before clamping to the cluster:
 /// R_map = floor(sqrt(Input * SIR / T_e)), at least 1. Monotone
 /// non-decreasing in Input (and in SIR) — a property the test suite checks.
@@ -130,6 +147,18 @@ class CoScheduler : public JobScheduler {
   void on_job_submitted(Job& job, SchedContext& ctx) override;
   void on_maps_completed(Job& job, SchedContext& ctx) override;
   std::optional<TaskChoice> pick_task(RackId rack, SchedContext& ctx) override;
+  /// Both engines' pick_task declines are outcome-pure: the reference only
+  /// scans, and the incremental path's decline-time mutations (candidate
+  /// pruning, the no-grant memo) never change a future pick result.
+  [[nodiscard]] bool declines_are_stable() const override { return true; }
+  /// True only when the incremental engine's last decline fell out of an
+  /// empty candidate index: no user had a single map or reduce candidate,
+  /// a condition that mentions no rack, so every rack's pick at this state
+  /// is the same pure nullopt. The reference engine never reports global
+  /// declines — it is the oracle and takes no shortcuts.
+  [[nodiscard]] bool last_decline_was_global() const override {
+    return last_decline_global_;
+  }
 
   void set_sched_engine(SchedEngine engine) override { engine_ = engine; }
   [[nodiscard]] SchedEngine sched_engine() const override { return engine_; }
@@ -211,6 +240,10 @@ class CoScheduler : public JobScheduler {
   /// rack, it stays ungrantable until some hook bumps epoch_.
   std::vector<std::uint64_t> no_grant_epoch_;
   std::uint64_t epoch_ = 1;
+  /// Whether the most recent pick_task nullopt was rack-independent (the
+  /// candidate index was empty). Cleared on every grant and on memo-hit
+  /// declines, which prove nothing about other racks.
+  bool last_decline_global_ = false;
 };
 
 }  // namespace cosched

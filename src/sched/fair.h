@@ -23,6 +23,8 @@ class FairScheduler : public JobScheduler {
 
   void on_job_submitted(Job& job, SchedContext& ctx) override;
   std::optional<TaskChoice> pick_task(RackId rack, SchedContext& ctx) override;
+  /// pick_task only scans job/cluster state; a decline mutates nothing.
+  [[nodiscard]] bool declines_are_stable() const override { return true; }
 
  private:
   std::int32_t replication_;

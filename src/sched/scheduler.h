@@ -98,6 +98,28 @@ class JobScheduler {
   virtual std::optional<TaskChoice> pick_task(RackId rack,
                                               SchedContext& ctx) = 0;
 
+  /// Whether a nullopt from pick_task is a pure function of scheduler-
+  /// visible state: true promises that re-offering the same rack with no
+  /// intervening state change returns nullopt again and that declining has
+  /// no observable side effects, so the driver's offer queue may skip the
+  /// re-offer outright (DESIGN.md §11). Delay scheduling counts offers —
+  /// a decline advances skip budgets — so it keeps the conservative
+  /// default. Cache-only mutations (candidate pruning, no-grant memos)
+  /// that never change a future outcome do not break stability.
+  [[nodiscard]] virtual bool declines_are_stable() const { return false; }
+
+  /// Valid immediately after a pick_task that returned nullopt: true means
+  /// the decline was *rack-independent* — the scheduler proved that no rack
+  /// could receive a grant at its current state (e.g. the incremental
+  /// candidate index is empty), so replaying pick_task on any other rack
+  /// before the next state change would return the identical nullopt with
+  /// no observable side effects. The offer-queue dispatch engine uses this
+  /// to end an all-decline wave after a single pick instead of offering
+  /// every free rack (DESIGN.md §11). Only meaningful when
+  /// declines_are_stable() is also true; the conservative default is
+  /// "rack-dependent".
+  [[nodiscard]] virtual bool last_decline_was_global() const { return false; }
+
   // ----- engine selection ---------------------------------------------------
   /// Select the decision engine. Default is a no-op: schedulers without an
   /// incremental path always run their one (reference) implementation.

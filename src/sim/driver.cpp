@@ -25,9 +25,14 @@ SimulationDriver::SimulationDriver(SimConfig cfg, std::vector<JobSpec> workload,
       trem_(Rng(cfg_.seed).fork(0xbeef),
             cfg_.faults.trem_error_or(cfg_.trem_error_rate)),
       faults_(cfg_.faults, cfg_.seed),
-      running_by_rack_(static_cast<std::size_t>(cfg_.topo.num_racks)) {
+      running_by_rack_(static_cast<std::size_t>(cfg_.topo.num_racks)),
+      offers_(cfg.topo.num_racks) {
   COSCHED_CHECK(scheduler_ != nullptr);
   cfg_.topo.validate();
+  // Every rack starts with all containers free.
+  for (std::int32_t r = 0; r < cfg_.topo.num_racks; ++r) {
+    offers_.mark_free(RackId{r});
+  }
   net_.eps().set_rate_engine(cfg_.eps_engine);
   scheduler_->set_sched_engine(cfg_.sched_engine);
   if (cfg_.audit) {
@@ -157,6 +162,7 @@ RunMetrics SimulationDriver::run() {
   m.eps_bytes = net_.eps_bytes_transferred();
   m.local_bytes = net_.local_bytes_transferred();
   m.events_executed = sim_.events_executed();
+  m.dispatch_waves = dispatch_waves_;
   m.faults = faults_.stats();
   // Every container must be back: killed tasks release their slots and
   // every retry ran to completion.
@@ -278,6 +284,7 @@ void SimulationDriver::on_job_arrival(std::size_t workload_index) {
   scheduler_->on_job_submitted(*job, ctx);
   COSCHED_CHECK_MSG(job->has_block_placement(),
                     "scheduler failed to place input of job " << job->id());
+  note_sched_state_changed();
   request_dispatch();
 }
 
@@ -296,13 +303,22 @@ void SimulationDriver::dispatch() {
   PerfScope perf(PerfPhase::kDriverDispatch);
   perf.set_size(static_cast<std::uint64_t>(cfg_.topo.num_racks));
   if (pending_tasks_ == 0) return;
+  ++dispatch_waves_;
   SchedContext ctx = make_context();
-  const std::int32_t racks = cfg_.topo.num_racks;
   // One container per rack per pass, racks visited round-robin from a
   // rotating start: this models YARN granting containers as NodeManagers
   // across the cluster heartbeat, rather than draining one rack at a time
   // (which would artificially clump a job's tasks onto the first rack).
-  const std::int32_t start = dispatch_rotation_++ % racks;
+  const std::int32_t start = dispatch_rotation_++ % cfg_.topo.num_racks;
+  if (cfg_.dispatch_engine == DispatchEngine::kScan) {
+    dispatch_scan(ctx, start);
+  } else {
+    dispatch_offer_queue(ctx, start);
+  }
+}
+
+void SimulationDriver::dispatch_scan(SchedContext& ctx, std::int32_t start) {
+  const std::int32_t racks = cfg_.topo.num_racks;
   bool progress = true;
   bool placed_any = false;
   while (progress && pending_tasks_ > 0) {
@@ -317,15 +333,71 @@ void SimulationDriver::dispatch() {
       placed_any = true;
     }
   }
+  finish_dispatch_wave(placed_any);
+}
 
+void SimulationDriver::dispatch_offer_queue(SchedContext& ctx,
+                                            std::int32_t start) {
+  // Bit-for-bit the scan above: the free-set iteration visits exactly the
+  // racks the scan's free_slots(rack) != 0 check would reach, in the same
+  // round-robin order, and the decline-stamp skip drops only pick_task
+  // calls that are guaranteed (declines_are_stable) to be side-effect-free
+  // nullopt replays. Grants bump the epoch, so a pass after any grant
+  // re-offers every rack that declined before that grant — exactly the
+  // racks whose answer may have changed, and a superset re-check of what
+  // the scan performs.
+  const bool stable = scheduler_->declines_are_stable();
+  // A still-current global decline stamp (heartbeat re-offer with no state
+  // change in between) means every pick this wave would be a pure nullopt
+  // replay: skip them all. finish_dispatch_wave re-arms the heartbeat
+  // exactly as the all-decline wave it stands in for would have.
+  if (stable && offers_.declined_globally_at_current_epoch()) {
+    finish_dispatch_wave(/*placed_any=*/false);
+    return;
+  }
+  bool progress = true;
+  bool placed_any = false;
+  bool global_decline = false;
+  while (progress && pending_tasks_ > 0 && !global_decline) {
+    progress = false;
+    offers_.for_each_free_from(start, [&](RackId rack) {
+      if (pending_tasks_ == 0) return false;
+      if (stable && offers_.declined_at_current_epoch(rack)) return true;
+      auto choice = scheduler_->pick_task(rack, ctx);
+      if (!choice.has_value()) {
+        offers_.note_declined(rack);
+        // A rack-independent decline settles the remaining racks: each
+        // would be the identical side-effect-free nullopt the scan engine
+        // replays one rack at a time. The epoch cannot change across
+        // declines, so the conclusion holds for the rest of the wave.
+        if (stable && scheduler_->last_decline_was_global()) {
+          offers_.note_declined_globally();
+          global_decline = true;
+          return false;
+        }
+        return true;
+      }
+      start_task(*choice->job, *choice->task, rack, choice->priority_class);
+      progress = true;
+      placed_any = true;
+      return true;
+    });
+  }
+  finish_dispatch_wave(placed_any);
+}
+
+void SimulationDriver::finish_dispatch_wave(bool placed_any) {
   if (audit_) {
     audit_->check_light();
     audit_->check_scheduler(*scheduler_, active_jobs_);
+    audit_->check_offer_queue(offers_.audit(cluster_));
   }
 
   // A scheduler may decline offers it could accept later without any
   // triggering event (delay scheduling waiting for locality). Re-offer on
-  // a heartbeat, as YARN NodeManagers would.
+  // a heartbeat, as YARN NodeManagers would. Under the offer-queue engine
+  // the re-offer wave only visits the declining racks (the free set) —
+  // full racks are never touched.
   if (!placed_any && pending_tasks_ > 0 && cluster_.total_free_slots() > 0 &&
       !heartbeat_scheduled_) {
     heartbeat_scheduled_ = true;
@@ -339,9 +411,11 @@ void SimulationDriver::dispatch() {
 void SimulationDriver::start_task(Job& job, Task& task, RackId rack,
                                   std::int32_t grant_class) {
   const NodeId node = cluster_.allocate_slot(rack);
+  sync_offer_membership(rack);
   task.place(rack, node, sim_.now());
   running_by_rack_[static_cast<std::size_t>(rack.value())].push_back(&task);
   --pending_tasks_;
+  note_sched_state_changed();
 
   const bool is_map = task.kind() == TaskKind::kMap;
   if (cfg_.obs != nullptr) {
@@ -434,6 +508,8 @@ void SimulationDriver::on_map_complete(Job& job, Task& task) {
   }
   remove_running(task.rack(), task);
   cluster_.release_slot(task.rack(), task.node());
+  sync_offer_membership(task.rack());
+  note_sched_state_changed();
   if (audit_) audit_->on_container_release(job, task, task.rack());
   trem_.forget(task.id());
   if (faults_.has_container_kill()) completion_events_.erase(task.id());
@@ -455,6 +531,7 @@ void SimulationDriver::on_map_complete(Job& job, Task& task) {
 
 void SimulationDriver::sync_reduce_demand(Job& job) {
   COSCHED_CHECK(job.all_maps_done());
+  note_sched_state_changed();
   std::vector<std::int32_t>& demanded = demanded_[job.id()];
   demanded.resize(static_cast<std::size_t>(cfg_.topo.num_racks), 0);
   const bool first_release = !job.shuffle_released();
@@ -643,6 +720,8 @@ void SimulationDriver::on_task_killed(Job& job, Task& task) {
   }
   remove_running(rack, task);
   cluster_.release_slot(rack, task.node());
+  sync_offer_membership(rack);
+  note_sched_state_changed();
   if (audit_) audit_->on_container_release(job, task, rack);
   trem_.forget(task.id());
   if (cfg_.obs != nullptr) {
@@ -735,6 +814,8 @@ void SimulationDriver::on_reduce_complete(Job& job, Task& task) {
   }
   remove_running(task.rack(), task);
   cluster_.release_slot(task.rack(), task.node());
+  sync_offer_membership(task.rack());
+  note_sched_state_changed();
   if (audit_) audit_->on_container_release(job, task, task.rack());
   trem_.forget(task.id());
   if (faults_.has_container_kill()) completion_events_.erase(task.id());
@@ -760,6 +841,7 @@ void SimulationDriver::finish_job(Job& job) {
   COSCHED_CHECK(it != active_jobs_.end());
   active_jobs_.erase(it);
   scheduler_->on_job_completed(job);
+  note_sched_state_changed();
 }
 
 bool SimulationDriver::break_deadlock() {
@@ -783,6 +865,7 @@ bool SimulationDriver::break_deadlock() {
     }
   }
   if (changed) {
+    note_sched_state_changed();
     ++deadlock_breaks_;
     if (cfg_.obs != nullptr) {
       cfg_.obs->trace.record({.kind = TraceEventKind::kDeadlockBreak,

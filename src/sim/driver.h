@@ -42,6 +42,7 @@
 #include "metrics/metrics.h"
 #include "net/network.h"
 #include "sched/scheduler.h"
+#include "sim/offer_queue.h"
 #include "simcore/simulator.h"
 #include "workload/job_spec.h"
 
@@ -58,6 +59,19 @@ inline constexpr bool kAuditDefaultOn =
 #else
     true;
 #endif
+
+/// Which dispatch-wave implementation the driver runs. kOfferQueue is the
+/// production fast path: waves iterate only the racks in the offer queue's
+/// free set and skip re-offers a stable-decline scheduler already refused
+/// at the current epoch (DESIGN.md §11). kScan is the original all-racks
+/// round-robin scan, retained as the oracle — the dispatch differential
+/// suite and the fuzzer cross-check the two bit for bit, exactly like
+/// EpsFabric::RateEngine and SchedEngine.
+enum class DispatchEngine : std::uint8_t { kOfferQueue, kScan };
+
+[[nodiscard]] constexpr const char* to_string(DispatchEngine e) {
+  return e == DispatchEngine::kOfferQueue ? "offer-queue" : "scan";
+}
 
 struct SimConfig {
   HybridTopology topo;
@@ -97,6 +111,10 @@ struct SimConfig {
   /// path; the fuzzer and the sched-equivalence suite cross-check it
   /// against kReference bit for bit, exactly like eps_engine.
   SchedEngine sched_engine = SchedEngine::kIncremental;
+  /// Which dispatch-wave implementation runs. kOfferQueue is the production
+  /// fast path; the dispatch differential suite and the fuzzer cross-check
+  /// it against kScan bit for bit.
+  DispatchEngine dispatch_engine = DispatchEngine::kOfferQueue;
 };
 
 class SimulationDriver : public AvailabilityOracle {
@@ -130,6 +148,29 @@ class SimulationDriver : public AvailabilityOracle {
   void on_job_arrival(std::size_t workload_index);
   void request_dispatch();
   void dispatch();
+  /// The two dispatch-wave bodies (cfg_.dispatch_engine picks one):
+  /// dispatch_scan is the original all-racks round-robin scan retained as
+  /// the oracle; dispatch_offer_queue iterates only the offer queue's free
+  /// set and skips epoch-stamped declines for stable-decline schedulers.
+  /// Both produce bit-identical simulations (DESIGN.md §11).
+  void dispatch_scan(SchedContext& ctx, std::int32_t start);
+  void dispatch_offer_queue(SchedContext& ctx, std::int32_t start);
+  /// Shared dispatch-wave epilogue: audit sync point (light + scheduler +
+  /// offer-queue coherence) and the 1 s heartbeat re-offer arming.
+  void finish_dispatch_wave(bool placed_any);
+  /// Scheduler-visible state changed: stamped declines may no longer hold.
+  /// Called at every site that can change a pick_task outcome — grants,
+  /// completions, kills, arrivals, plan clears, shuffle releases.
+  void note_sched_state_changed() { offers_.note_state_changed(); }
+  /// Re-derive the rack's free/full offer-queue membership after an
+  /// allocate or release on it.
+  void sync_offer_membership(RackId rack) {
+    if (cluster_.free_slots(rack) > 0) {
+      offers_.mark_free(rack);
+    } else {
+      offers_.mark_full(rack);
+    }
+  }
   void start_task(Job& job, Task& task, RackId rack,
                   std::int32_t grant_class);
   /// Register the driver's gauges with cfg_.obs->counters (ctor-time).
@@ -212,6 +253,13 @@ class SimulationDriver : public AvailabilityOracle {
   bool heartbeat_scheduled_ = false;
   std::int64_t pending_tasks_ = 0;
   std::int32_t dispatch_rotation_ = 0;
+  /// Event-driven dispatch index (free-set membership + decline stamps).
+  /// Maintained under both dispatch engines so the audit can cross-check
+  /// its coherence even while the reference scan drives the waves.
+  OfferQueue offers_;
+  /// Dispatch waves that actually scanned (pending work existed). Engine-
+  /// and mode-invariant, exported as RunMetrics::dispatch_waves.
+  std::uint64_t dispatch_waves_ = 0;
   SimTime last_completion_ = SimTime::zero();
   std::int64_t jobs_completed_ = 0;
 };

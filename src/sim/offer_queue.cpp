@@ -1,0 +1,67 @@
+#include "sim/offer_queue.h"
+
+#include <bit>
+#include <sstream>
+
+#include "cluster/cluster.h"
+#include "common/check.h"
+
+namespace cosched {
+
+OfferQueue::OfferQueue(std::int32_t num_racks)
+    : num_racks_(num_racks),
+      words_(static_cast<std::size_t>((num_racks + 63) / 64), 0),
+      declined_at_(static_cast<std::size_t>(num_racks), 0) {
+  COSCHED_CHECK(num_racks > 0);
+}
+
+void OfferQueue::mark_free(RackId rack) {
+  const auto r = static_cast<std::uint32_t>(rack.value());
+  words_[r >> 6] |= std::uint64_t{1} << (r & 63U);
+}
+
+void OfferQueue::mark_full(RackId rack) {
+  const auto r = static_cast<std::uint32_t>(rack.value());
+  words_[r >> 6] &= ~(std::uint64_t{1} << (r & 63U));
+}
+
+bool OfferQueue::is_free(RackId rack) const {
+  const auto r = static_cast<std::uint32_t>(rack.value());
+  return (words_[r >> 6] >> (r & 63U)) & 1U;
+}
+
+void OfferQueue::note_declined(RackId rack) {
+  declined_at_[static_cast<std::size_t>(rack.value())] = epoch_;
+}
+
+bool OfferQueue::declined_at_current_epoch(RackId rack) const {
+  return declined_at_[static_cast<std::size_t>(rack.value())] == epoch_;
+}
+
+std::int32_t OfferQueue::count_trailing_zeros(std::uint64_t w) {
+  return std::countr_zero(w);
+}
+
+std::string OfferQueue::audit(const Cluster& cluster) const {
+  for (std::int32_t r = 0; r < num_racks_; ++r) {
+    const RackId rack{r};
+    const bool cluster_free = cluster.free_slots(rack) > 0;
+    if (is_free(rack) != cluster_free) {
+      std::ostringstream os;
+      os << "offer queue incoherent at rack " << r << ": queue says "
+         << (is_free(rack) ? "free" : "full") << " but cluster has "
+         << cluster.free_slots(rack) << " free slots";
+      return os.str();
+    }
+    if (declined_at_[static_cast<std::size_t>(r)] > epoch_) {
+      std::ostringstream os;
+      os << "offer queue decline stamp from the future at rack " << r << ": "
+         << declined_at_[static_cast<std::size_t>(r)] << " > epoch "
+         << epoch_;
+      return os.str();
+    }
+  }
+  return {};
+}
+
+}  // namespace cosched

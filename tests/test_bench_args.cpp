@@ -233,6 +233,61 @@ TEST(BenchArgsParse, RejectsUnknownEpsEngine) {
   EXPECT_FALSE(parse({"--eps-engine=Grouped"}).has_value());
 }
 
+TEST(BenchArgsParse, DispatchEngineFlagParses) {
+  const auto defaults = parse({});
+  ASSERT_TRUE(defaults.has_value());
+  EXPECT_EQ(defaults->dispatch_engine, DispatchEngine::kOfferQueue);
+
+  const auto scan = parse({"--dispatch-engine=scan"});
+  ASSERT_TRUE(scan.has_value());
+  EXPECT_EQ(scan->dispatch_engine, DispatchEngine::kScan);
+  EXPECT_EQ(paper_config(*scan).sim.dispatch_engine, DispatchEngine::kScan);
+
+  const auto oq = parse({"--dispatch-engine=offer-queue"});
+  ASSERT_TRUE(oq.has_value());
+  EXPECT_EQ(oq->dispatch_engine, DispatchEngine::kOfferQueue);
+  EXPECT_EQ(paper_config(*oq).sim.dispatch_engine,
+            DispatchEngine::kOfferQueue);
+}
+
+TEST(BenchArgsParse, RejectsUnknownDispatchEngine) {
+  std::string error;
+  EXPECT_FALSE(parse({"--dispatch-engine=queue"}, &error).has_value());
+  EXPECT_NE(error.find("--dispatch-engine"), std::string::npos);
+  EXPECT_NE(error.find("queue"), std::string::npos);
+  EXPECT_FALSE(parse({"--dispatch-engine="}).has_value());
+  EXPECT_FALSE(parse({"--dispatch-engine=offerqueue"}).has_value());
+  EXPECT_FALSE(parse({"--dispatch-engine=Scan"}).has_value());
+  EXPECT_FALSE(parse({"--dispatch-engine=scan "}).has_value());
+}
+
+TEST(ScaleCombo, RejectsNonPositiveValues) {
+  EXPECT_FALSE(check_scale_combo(100, 0).ok);
+  EXPECT_NE(check_scale_combo(100, 0).error.find("--racks"),
+            std::string::npos);
+  EXPECT_FALSE(check_scale_combo(100, -4).ok);
+  EXPECT_FALSE(check_scale_combo(0, 60).ok);
+  EXPECT_NE(check_scale_combo(0, 60).error.find("--jobs"),
+            std::string::npos);
+  EXPECT_FALSE(check_scale_combo(-1, 60).ok);
+}
+
+TEST(ScaleCombo, WarnsWhenJobsCannotCoverRacks) {
+  const ScaleComboCheck sparse = check_scale_combo(100, 256);
+  EXPECT_TRUE(sparse.ok);
+  EXPECT_TRUE(sparse.error.empty());
+  EXPECT_NE(sparse.warning.find("idle"), std::string::npos);
+
+  // jobs == racks is the boundary: no warning.
+  const ScaleComboCheck exact = check_scale_combo(256, 256);
+  EXPECT_TRUE(exact.ok);
+  EXPECT_TRUE(exact.warning.empty());
+
+  const ScaleComboCheck dense = check_scale_combo(10000, 60);
+  EXPECT_TRUE(dense.ok);
+  EXPECT_TRUE(dense.warning.empty());
+}
+
 TEST(BenchArgsParse, AuditFlagToggles) {
   const auto defaults = parse({});
   ASSERT_TRUE(defaults.has_value());

@@ -1,0 +1,221 @@
+// Dispatch-engine equivalence regression (part of `ctest -L determinism`).
+//
+// The event-driven offer-queue dispatcher must reproduce the retained
+// O(racks) round-robin scan *bit for bit*: identical RunMetrics (including
+// the dispatch-wave count), identical container-grant sequences, identical
+// placements — across every scheduler family (including Delay, whose
+// declines mutate skip counters and therefore must never be decline-
+// skipped), both scheduler engines, fault churn, OCS outages, and the
+// delay-scheduling heartbeat path where whole waves place nothing. Any
+// divergence here means the offer queue changed simulation results.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/fault_spec.h"
+#include "obs/observability.h"
+#include "sim/experiment.h"
+
+namespace cosched {
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+void expect_runs_bitwise_equal(const std::vector<RunMetrics>& a,
+                               const std::vector<RunMetrics>& b,
+                               const std::string& where) {
+  ASSERT_EQ(a.size(), b.size()) << where;
+  for (std::size_t rep = 0; rep < a.size(); ++rep) {
+    const std::string at = where + " rep" + std::to_string(rep);
+    EXPECT_EQ(bits(a[rep].makespan.sec()), bits(b[rep].makespan.sec())) << at;
+    EXPECT_EQ(a[rep].ocs_bytes.in_bytes(), b[rep].ocs_bytes.in_bytes()) << at;
+    EXPECT_EQ(a[rep].eps_bytes.in_bytes(), b[rep].eps_bytes.in_bytes()) << at;
+    EXPECT_EQ(a[rep].local_bytes.in_bytes(), b[rep].local_bytes.in_bytes())
+        << at;
+    EXPECT_EQ(a[rep].events_executed, b[rep].events_executed) << at;
+    EXPECT_EQ(a[rep].dispatch_waves, b[rep].dispatch_waves) << at;
+    ASSERT_EQ(a[rep].jobs.size(), b[rep].jobs.size()) << at;
+    for (std::size_t j = 0; j < a[rep].jobs.size(); ++j) {
+      const std::string jat = at + " job#" + std::to_string(j);
+      EXPECT_EQ(bits(a[rep].jobs[j].jct.sec()), bits(b[rep].jobs[j].jct.sec()))
+          << jat;
+      EXPECT_EQ(bits(a[rep].jobs[j].cct.sec()), bits(b[rep].jobs[j].cct.sec()))
+          << jat;
+      EXPECT_EQ(bits(a[rep].jobs[j].first_reduce_placement.sec()),
+                bits(b[rep].jobs[j].first_reduce_placement.sec()))
+          << jat;
+    }
+  }
+}
+
+ExperimentConfig base_config(std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.sim.topo.num_racks = 12;
+  cfg.sim.topo.servers_per_rack = 2;
+  cfg.sim.topo.slots_per_server = 6;
+  cfg.workload.num_jobs = 16;
+  cfg.workload.num_users = 4;
+  cfg.workload.arrival_window = Duration::minutes(2);
+  cfg.workload.max_maps = 40;
+  cfg.workload.max_reduces = 8;
+  cfg.workload.heavy_input_mu = 2.5;
+  cfg.workload.heavy_input_sigma = 0.8;
+  cfg.workload.max_input = DataSize::gigabytes(40);
+  cfg.repetitions = 2;
+  cfg.base_seed = seed;
+  cfg.sim.audit = true;  // offer-queue coherence armed on every case
+  return cfg;
+}
+
+std::vector<RunMetrics> run_with_dispatch(ExperimentConfig cfg,
+                                          const std::string& scheduler,
+                                          DispatchEngine engine) {
+  cfg.sim.dispatch_engine = engine;
+  return run_repetitions(cfg, make_scheduler_factory(scheduler),
+                         ParallelExperimentConfig{});
+}
+
+FaultPlan parse_plan(const std::string& spec) {
+  std::string error;
+  const std::optional<FaultPlan> plan = FaultPlan::parse(spec, &error);
+  EXPECT_TRUE(plan.has_value()) << spec << ": " << error;
+  return plan.value_or(FaultPlan{});
+}
+
+TEST(DispatchEquivalence, EverySchedulerFamilyMatchesBitForBit) {
+  // "delay" is the decline-impure scheduler (declines advance its skip
+  // counters), so it exercises the must-not-skip path; the rest exercise
+  // the decline-stamp fast path.
+  for (const char* sched : {"coscheduler", "fair", "corral", "delay",
+                            "mts+ocas", "ocas"}) {
+    SCOPED_TRACE(sched);
+    const ExperimentConfig cfg = base_config(3);
+    const auto scan = run_with_dispatch(cfg, sched, DispatchEngine::kScan);
+    const auto oq =
+        run_with_dispatch(cfg, sched, DispatchEngine::kOfferQueue);
+    expect_runs_bitwise_equal(scan, oq, sched);
+  }
+}
+
+TEST(DispatchEquivalence, BothSchedEnginesMatchAcrossDispatchEngines) {
+  // The 2x2 grid: {scan, offer-queue} x {reference, incremental} must all
+  // land on the same bits — the offer queue's decline skipping composes
+  // with the incremental engine's own no-grant memo.
+  const ExperimentConfig cfg = base_config(5);
+  std::vector<std::vector<RunMetrics>> grid;
+  for (const SchedEngine se :
+       {SchedEngine::kReference, SchedEngine::kIncremental}) {
+    for (const DispatchEngine de :
+         {DispatchEngine::kScan, DispatchEngine::kOfferQueue}) {
+      ExperimentConfig c = cfg;
+      c.sim.sched_engine = se;
+      grid.push_back(run_with_dispatch(c, "coscheduler", de));
+    }
+  }
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    expect_runs_bitwise_equal(grid[0], grid[i],
+                              "grid cell " + std::to_string(i));
+  }
+}
+
+TEST(DispatchEquivalence, RandomizedTopologiesMatchBitForBit) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ExperimentConfig cfg = base_config(seed);
+    // Cross the offer queue's 64-rack word boundary on the larger draws.
+    cfg.sim.topo.num_racks = static_cast<std::int32_t>(4 + seed * 17);
+    cfg.workload.shuffle_heavy_fraction = 0.15 * static_cast<double>(seed);
+    const auto scan =
+        run_with_dispatch(cfg, "coscheduler", DispatchEngine::kScan);
+    const auto oq =
+        run_with_dispatch(cfg, "coscheduler", DispatchEngine::kOfferQueue);
+    expect_runs_bitwise_equal(scan, oq, "seed" + std::to_string(seed));
+  }
+}
+
+TEST(DispatchEquivalence, GrantSequencesIdenticalGrantForGrant) {
+  ExperimentConfig cfg = base_config(11);
+  cfg.repetitions = 1;
+
+  Observability scan_obs;
+  ExperimentConfig scan_cfg = cfg;
+  scan_cfg.sim.obs = &scan_obs;
+  scan_cfg.sim.dispatch_engine = DispatchEngine::kScan;
+  const RunMetrics scan =
+      run_once(scan_cfg, make_scheduler_factory("coscheduler"), 0);
+
+  Observability oq_obs;
+  ExperimentConfig oq_cfg = cfg;
+  oq_cfg.sim.obs = &oq_obs;
+  oq_cfg.sim.dispatch_engine = DispatchEngine::kOfferQueue;
+  const RunMetrics oq =
+      run_once(oq_cfg, make_scheduler_factory("coscheduler"), 0);
+
+  EXPECT_EQ(bits(scan.makespan.sec()), bits(oq.makespan.sec()));
+  const auto& a = scan_obs.decisions.grants();
+  const auto& b = oq_obs.decisions.grants();
+  ASSERT_GT(a.size(), 0u);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::string at = "grant#" + std::to_string(i);
+    EXPECT_EQ(bits(a[i].at.sec()), bits(b[i].at.sec())) << at;
+    EXPECT_EQ(a[i].rack, b[i].rack) << at;
+    EXPECT_EQ(a[i].job, b[i].job) << at;
+    EXPECT_EQ(a[i].task, b[i].task) << at;
+    EXPECT_EQ(a[i].is_map, b[i].is_map) << at;
+    EXPECT_EQ(a[i].ocas_class, b[i].ocas_class) << at;
+  }
+}
+
+TEST(DispatchEquivalence, KillChurnAndOutagesMatchBitForBit) {
+  // Kills release containers (free-set re-entry mid-event) and requeue
+  // tasks; outages trigger the deadlock breaker's plan clearing. Both
+  // paths bump the decline epoch — a stale stamp here would diverge.
+  ExperimentConfig cfg = base_config(13);
+  cfg.sim.faults = parse_plan(
+      "container-kill:p=0.09,straggler:p=0.2:slow=3,ocs-outage:at=30s:dur="
+      "45s");
+  for (const char* sched : {"coscheduler", "delay"}) {
+    SCOPED_TRACE(sched);
+    const auto scan = run_with_dispatch(cfg, sched, DispatchEngine::kScan);
+    const auto oq =
+        run_with_dispatch(cfg, sched, DispatchEngine::kOfferQueue);
+    expect_runs_bitwise_equal(scan, oq, sched);
+  }
+}
+
+TEST(DispatchEquivalence, DelayHeartbeatWavesMatchBitForBit) {
+  // A tight cluster makes Delay decline whole waves (no local slot free),
+  // arming the 1 s re-offer heartbeat: under the offer queue that re-offer
+  // must visit the same racks in the same order as the scan's full pass.
+  ExperimentConfig cfg = base_config(17);
+  cfg.sim.topo.num_racks = 6;
+  cfg.sim.topo.servers_per_rack = 1;
+  cfg.sim.topo.slots_per_server = 4;
+  cfg.workload.num_jobs = 14;
+  const auto scan = run_with_dispatch(cfg, "delay", DispatchEngine::kScan);
+  const auto oq =
+      run_with_dispatch(cfg, "delay", DispatchEngine::kOfferQueue);
+  expect_runs_bitwise_equal(scan, oq, "delay-heartbeat");
+}
+
+TEST(DispatchEquivalence, DispatchWaveCountIsExportedAndStable) {
+  // dispatch_waves lands in RunMetrics, is non-zero for any run that
+  // placed tasks, and is invariant across engines (it counts waves that
+  // scanned, not racks visited).
+  const ExperimentConfig cfg = base_config(19);
+  const auto scan =
+      run_with_dispatch(cfg, "coscheduler", DispatchEngine::kScan);
+  const auto oq =
+      run_with_dispatch(cfg, "coscheduler", DispatchEngine::kOfferQueue);
+  for (std::size_t rep = 0; rep < scan.size(); ++rep) {
+    EXPECT_GT(scan[rep].dispatch_waves, 0u);
+    EXPECT_EQ(scan[rep].dispatch_waves, oq[rep].dispatch_waves);
+  }
+}
+
+}  // namespace
+}  // namespace cosched

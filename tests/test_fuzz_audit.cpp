@@ -11,6 +11,9 @@
 //   COSCHED_FUZZ_RUNS       iterations (default 4 — keeps tier-1 fast)
 //   COSCHED_FUZZ_SEED_BASE  base seed; iteration i uses base + i
 //   COSCHED_FUZZ_AUDIT      "0" disables the auditor (perf triage only)
+//   COSCHED_FUZZ_CROSS_DISPATCH
+//                           "0" skips the offer-queue vs scan dispatch
+//                           crossing (on by default)
 //
 // A failure prints the full recipe (seed, topology, fault spec, scheduler,
 // threads) so any crash reproduces with COSCHED_FUZZ_RUNS=1 and the seed.
@@ -136,9 +139,9 @@ FuzzCase draw_case(std::uint64_t seed) {
   EXPECT_TRUE(plan.has_value()) << c.fault_spec << ": " << error;
   c.cfg.sim.faults = plan.value_or(FaultPlan{});
 
-  const char* schedulers[] = {"fair", "corral", "coscheduler", "mts+ocas",
-                              "ocas"};
-  c.scheduler = schedulers[pick(0, 4)];
+  const char* schedulers[] = {"fair",     "corral", "coscheduler",
+                              "mts+ocas", "ocas",   "delay"};
+  c.scheduler = schedulers[pick(0, 5)];
   c.threads = pick(1, 3);
   return c;
 }
@@ -157,6 +160,7 @@ void expect_bitwise_equal(const std::vector<RunMetrics>& a,
     EXPECT_EQ(a[rep].local_bytes.in_bytes(), b[rep].local_bytes.in_bytes())
         << at;
     EXPECT_EQ(a[rep].events_executed, b[rep].events_executed) << at;
+    EXPECT_EQ(a[rep].dispatch_waves, b[rep].dispatch_waves) << at;
     ASSERT_EQ(a[rep].jobs.size(), b[rep].jobs.size()) << at;
     for (std::size_t j = 0; j < a[rep].jobs.size(); ++j) {
       EXPECT_EQ(bits(a[rep].jobs[j].jct.sec()), bits(b[rep].jobs[j].jct.sec()))
@@ -212,6 +216,21 @@ TEST(FuzzAudit, RandomConfigsHoldEveryInvariant) {
     both_ref.sim.eps_engine = EpsFabric::RateEngine::kReference;
     expect_bitwise_equal(serial, run_repetitions(both_ref, factory),
                          "both-engines-reference");
+
+    // Dispatch-engine crossing: the serial run above used the default
+    // offer queue; the reference scan — alone and stacked on the
+    // all-reference configuration — must land on the same bits.
+    if (env_flag("COSCHED_FUZZ_CROSS_DISPATCH", true)) {
+      ExperimentConfig scan = c.cfg;
+      scan.sim.dispatch_engine = DispatchEngine::kScan;
+      expect_bitwise_equal(serial, run_repetitions(scan, factory),
+                           "offer-queue-vs-scan");
+
+      ExperimentConfig all_ref = both_ref;
+      all_ref.sim.dispatch_engine = DispatchEngine::kScan;
+      expect_bitwise_equal(serial, run_repetitions(all_ref, factory),
+                           "all-fast-vs-all-reference");
+    }
   }
 }
 

@@ -395,11 +395,11 @@ TEST(RunReport, EmitsAllSectionsAndBalances) {
 
   expect_balanced_json(json);
   for (const char* key :
-       {"\"schema\": \"cosched.run_report\"", "\"version\": 1",
+       {"\"schema\": \"cosched.run_report\"", "\"version\": 2",
         "\"scheduler\": \"coscheduler\"", "\"config\": {\"jobs\": 18",
         "\"metrics\": {", "\"makespan_sec\": ", "\"jct_percentiles\": ",
-        "\"jain_fairness\": ", "\"faults\": {", "\"counters\": {",
-        "\"profile\": [", "\"phases\": ["}) {
+        "\"jain_fairness\": ", "\"dispatch_waves\": ", "\"faults\": {",
+        "\"counters\": {", "\"profile\": [", "\"phases\": ["}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
   // All eight phases appear by stable name, with histograms attached.
@@ -456,6 +456,7 @@ void expect_run_bitwise_equal(const RunMetrics& a, const RunMetrics& b,
   EXPECT_EQ(a.eps_bytes.in_bytes(), b.eps_bytes.in_bytes()) << where;
   EXPECT_EQ(a.local_bytes.in_bytes(), b.local_bytes.in_bytes()) << where;
   EXPECT_EQ(a.events_executed, b.events_executed) << where;
+  EXPECT_EQ(a.dispatch_waves, b.dispatch_waves) << where;
   ASSERT_EQ(a.jobs.size(), b.jobs.size()) << where;
   for (std::size_t j = 0; j < a.jobs.size(); ++j) {
     const std::string at = where + " job#" + std::to_string(j);

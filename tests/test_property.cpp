@@ -18,6 +18,7 @@
 #include "sched/best_rack_heap.h"
 #include "sched/coscheduler.h"
 #include "sim/experiment.h"
+#include "sim/offer_queue.h"
 #include "workload/generator.h"
 
 namespace cosched {
@@ -647,6 +648,124 @@ TEST(SbsIncrementalProperty, ReferenceRepeatsQueriesTheFastPathMemoizes) {
   (void)explore_schedules_incremental(schedules, 12, inc_count, false);
   EXPECT_GT(ref_count.max_calls_per_pair(), 1);
   EXPECT_LT(inc_count.total(), ref_count.total());
+}
+
+// ---- OfferQueue: the event-driven dispatch index (DESIGN.md §11). -------
+
+/// Brute-force mirror of the queue's contract: free flags as a plain
+/// bool vector, iteration as the reference all-racks scan with the
+/// free==0 entries deleted, decline stamps as a plain map.
+struct BruteOffers {
+  explicit BruteOffers(std::int32_t n) : free(static_cast<std::size_t>(n)) {}
+
+  std::vector<bool> free;
+  std::map<std::int32_t, std::uint64_t> declined_at;
+  std::uint64_t epoch = 1;
+  std::uint64_t global_declined_at = 0;
+
+  [[nodiscard]] std::vector<std::int32_t> scan_from(std::int32_t start) const {
+    std::vector<std::int32_t> order;
+    const auto n = static_cast<std::int32_t>(free.size());
+    for (std::int32_t k = 0; k < n; ++k) {
+      const std::int32_t rack = (start + k) % n;
+      if (free[static_cast<std::size_t>(rack)]) order.push_back(rack);
+    }
+    return order;
+  }
+};
+
+TEST(OfferQueueProperty, MatchesBruteForceScanUnderArbitraryChurn) {
+  Rng rng(321);
+  for (int trial = 0; trial < 40; ++trial) {
+    // Cross word boundaries (racks > 64) in some trials so the bitset's
+    // word stepping is exercised, tiny sets in others.
+    const std::int32_t num_racks =
+        static_cast<std::int32_t>(rng.uniform_int(1, 2) == 1
+                                      ? rng.uniform_int(1, 12)
+                                      : rng.uniform_int(60, 200));
+    OfferQueue queue(num_racks);
+    BruteOffers brute(num_racks);
+    for (int op = 0; op < 250; ++op) {
+      const std::int64_t kind = rng.uniform_int(0, 10);
+      const RackId rack{rng.uniform_int(0, num_racks - 1)};
+      if (kind < 3) {
+        queue.mark_free(rack);
+        brute.free[static_cast<std::size_t>(rack.value())] = true;
+      } else if (kind < 6) {
+        queue.mark_full(rack);
+        brute.free[static_cast<std::size_t>(rack.value())] = false;
+      } else if (kind == 6) {
+        queue.note_declined(rack);
+        brute.declined_at[rack.value()] = brute.epoch;
+      } else if (kind == 7) {
+        queue.note_state_changed();
+        ++brute.epoch;
+      } else if (kind == 8) {
+        queue.note_declined_globally();
+        brute.global_declined_at = brute.epoch;
+      } else {
+        // Full iteration from a random start must visit exactly the
+        // brute-force scan's free racks in the brute-force scan's order.
+        const auto start =
+            static_cast<std::int32_t>(rng.uniform_int(0, num_racks - 1));
+        std::vector<std::int32_t> visited;
+        queue.for_each_free_from(start, [&](RackId r) {
+          visited.push_back(r.value());
+          return true;
+        });
+        ASSERT_EQ(visited, brute.scan_from(start))
+            << "trial " << trial << " op " << op << " start " << start;
+      }
+      ASSERT_EQ(queue.is_free(rack),
+                brute.free[static_cast<std::size_t>(rack.value())]);
+      const auto it = brute.declined_at.find(rack.value());
+      ASSERT_EQ(queue.declined_at_current_epoch(rack),
+                it != brute.declined_at.end() && it->second == brute.epoch);
+      ASSERT_EQ(queue.declined_globally_at_current_epoch(),
+                brute.global_declined_at == brute.epoch);
+      ASSERT_EQ(queue.epoch(), brute.epoch);
+    }
+  }
+}
+
+TEST(OfferQueueProperty, EarlyStopAndMidIterationClearing) {
+  // fn's contract: may stop the walk, may clear the visited rack's own
+  // bit (a grant consuming the rack's last container) — the walk must
+  // still deliver the remaining free racks in order.
+  OfferQueue queue(130);
+  for (const std::int32_t r : {0, 3, 63, 64, 65, 127, 128, 129}) {
+    queue.mark_free(RackId{r});
+  }
+  std::vector<std::int32_t> visited;
+  queue.for_each_free_from(64, [&](RackId r) {
+    visited.push_back(r.value());
+    queue.mark_full(r);  // consume the rack's last container
+    return visited.size() < 5;
+  });
+  EXPECT_EQ(visited, (std::vector<std::int32_t>{64, 65, 127, 128, 129}));
+  // The five visited racks were cleared mid-walk; the rest survived.
+  EXPECT_FALSE(queue.is_free(RackId{64}));
+  EXPECT_TRUE(queue.is_free(RackId{0}));
+  EXPECT_TRUE(queue.is_free(RackId{3}));
+  EXPECT_TRUE(queue.is_free(RackId{63}));
+}
+
+TEST(OfferQueueProperty, AuditCatchesDesyncFromCluster) {
+  HybridTopology topo;
+  topo.num_racks = 6;
+  Cluster cluster(topo);
+  OfferQueue queue(topo.num_racks);
+  for (std::int32_t r = 0; r < topo.num_racks; ++r) {
+    queue.mark_free(RackId{r});
+  }
+  EXPECT_EQ(queue.audit(cluster), "");
+
+  // Claim rack 2 is full while the cluster still has free containers.
+  queue.mark_full(RackId{2});
+  const std::string report = queue.audit(cluster);
+  EXPECT_NE(report.find("rack 2"), std::string::npos) << report;
+  queue.mark_free(RackId{2});
+  EXPECT_EQ(queue.audit(cluster), "");
 }
 
 }  // namespace

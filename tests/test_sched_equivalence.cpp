@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "faults/fault_spec.h"
 #include "obs/observability.h"
 #include "sched/coscheduler.h"
@@ -254,6 +255,40 @@ TEST(SchedEquivalence, IncrementalEngineIsThreadInvariant) {
                                        SchedEngine::kIncremental,
                                        /*threads=*/3);
   expect_runs_bitwise_equal(serial, sharded, "threads");
+}
+
+TEST(PsrtEquivalence, FastPathBitEqualToReferenceOnRandomInputs) {
+  // The incremental engine's PSRT enumeration skips the m x R_red traffic
+  // matrix entirely (extremal row/column collapse, DESIGN.md §11). That is
+  // only legal if it reproduces the reference candidate list bit for bit:
+  // same candidate count, same d vectors, same CCT lower-bound bits.
+  Rng rng(0x95A7);
+  const DataSize te = DataSize::gigabytes(1.125);  // the paper's T_e
+  const Bandwidth ocs = Bandwidth::gbps(100.0);
+  const Duration delta = Duration::milliseconds(10.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto m = static_cast<std::size_t>(rng.uniform_int(1, 14));
+    std::vector<DataSize> sm(m);
+    for (auto& s : sm) {
+      // Every per-rack output clears T_e (PSRT's precondition), spanning
+      // ties, near-threshold values, and multi-hundred-GB elephants.
+      s = te + DataSize::megabytes(rng.uniform_int(0, 300'000));
+      if (rng.uniform_int(0, 4) == 0) s = te;  // exact-threshold ties
+    }
+    const auto reduces = static_cast<std::int32_t>(rng.uniform_int(1, 40));
+    const auto racks = static_cast<std::int32_t>(rng.uniform_int(2, 64));
+    const auto ref =
+        possible_reduce_schedules(sm, reduces, te, ocs, delta, racks);
+    const auto fast = possible_reduce_schedules_incremental(
+        sm, reduces, te, ocs, delta, racks);
+    ASSERT_EQ(ref.size(), fast.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(ref[i].d, fast[i].d) << "trial " << trial << " cand " << i;
+      ASSERT_EQ(bits(ref[i].cct.sec()), bits(fast[i].cct.sec()))
+          << "trial " << trial << " cand " << i << " d.size "
+          << ref[i].d.size();
+    }
+  }
 }
 
 TEST(SchedEquivalence, RetiredJobsFreeSchedulerState) {

@@ -8,9 +8,10 @@ failing seed is known exactly. The binary derives the whole configuration
 (topology, workload, fault plan, scheduler, thread count) from the seed, runs
 it with the invariant auditor armed, and cross-checks serial sharding against
 parallel plus the full engine matrix — grouped-vs-reference EPS rates,
-incremental-vs-reference scheduler decisions, and both references together —
-bit for bit, so every seed exercises both the rate and the scheduler engine
-axes (DESIGN.md sections 9 and 10).
+incremental-vs-reference scheduler decisions, offer-queue-vs-scan dispatch
+(alone and stacked on the all-reference configuration), and all references
+together — bit for bit, so every seed exercises the rate, scheduler, and
+dispatch engine axes (DESIGN.md sections 9-11).
 
 On failure the full test output — including the auditor's structured dump and
 the seed recipe line — is appended to --report (default fuzz_failures.txt) so
@@ -45,6 +46,14 @@ def main():
                     help="arm the invariant auditor (default)")
     ap.add_argument("--no-audit", dest="audit", action="store_false",
                     help="disable the auditor (perf triage only)")
+    ap.add_argument("--cross-dispatch", dest="cross_dispatch",
+                    action="store_true", default=True,
+                    help="cross offer-queue vs scan dispatch per seed "
+                         "(default)")
+    ap.add_argument("--no-cross-dispatch", dest="cross_dispatch",
+                    action="store_false",
+                    help="skip the dispatch-engine crossing (faster triage "
+                         "when a failure is known to be elsewhere)")
     ap.add_argument("--report", default="fuzz_failures.txt",
                     help="file collecting failing seeds and their dumps")
     ap.add_argument("--timeout", type=float, default=300.0,
@@ -62,6 +71,8 @@ def main():
         env["COSCHED_FUZZ_RUNS"] = "1"
         env["COSCHED_FUZZ_SEED_BASE"] = str(seed)
         env["COSCHED_FUZZ_AUDIT"] = "1" if args.audit else "0"
+        env["COSCHED_FUZZ_CROSS_DISPATCH"] = \
+            "1" if args.cross_dispatch else "0"
         try:
             proc = subprocess.run([exe], env=env, capture_output=True,
                                   text=True, timeout=args.timeout)

@@ -19,7 +19,10 @@ import json
 import sys
 
 SCHEMA = "cosched.run_report"
-VERSION = 1
+# v1 reports lack metrics.dispatch_waves (added in v2 together with the
+# dispatch-engine work); both validate, and `diff` compares whatever metric
+# fields each document carries.
+VERSIONS = {1, 2}
 
 # The five scheduling passes the scale campaign cares about (ISSUE 6
 # acceptance); `check --require-phases=default` expands to these.
@@ -65,6 +68,11 @@ METRIC_KEYS = [
     "events_executed",
 ]
 
+# Required from v2 on (schema bump for the dispatch-engine work).
+METRIC_KEYS_V2 = [
+    "dispatch_waves",
+]
+
 PHASE_KEYS = ["name", "calls", "total_ns", "max_ns", "latency_ns",
               "histogram", "by_size"]
 
@@ -84,9 +92,13 @@ def validate(doc, errors):
         return
     if doc["schema"] != SCHEMA:
         errors.append(f"schema is {doc['schema']!r}, expected {SCHEMA!r}")
-    if doc["version"] != VERSION:
-        errors.append(f"version is {doc['version']}, expected {VERSION}")
-    for key in METRIC_KEYS:
+    if doc["version"] not in VERSIONS:
+        errors.append(f"version is {doc['version']}, expected one of "
+                      f"{sorted(VERSIONS)}")
+    required = list(METRIC_KEYS)
+    if doc["version"] >= 2:
+        required += METRIC_KEYS_V2
+    for key in required:
         if key not in doc["metrics"]:
             errors.append(f"missing metrics key: {key}")
     for digest in ("jct_percentiles", "cct_percentiles"):
@@ -143,6 +155,11 @@ def cmd_check(args):
         required = (DEFAULT_REQUIRED_PHASES if spec == "default"
                     else [p for p in spec.split(",") if p])
         check_required_phases(doc, required, errors)
+    if args.max_rss_gb > 0:
+        rss_gb = doc.get("rss_high_water_bytes", 0) / 2**30
+        if rss_gb > args.max_rss_gb:
+            errors.append(f"rss_high_water {rss_gb:.2f}GB exceeds "
+                          f"--max-rss-gb={args.max_rss_gb}")
     if errors:
         for e in errors:
             print(f"FAIL {args.report}: {e}", file=sys.stderr)
@@ -250,6 +267,10 @@ def main():
                          help="comma-separated phase names that must have "
                               "samples ('default' = the five scheduler "
                               "passes)")
+    p_check.add_argument("--max-rss-gb", type=float, default=0.0,
+                         help="fail if the run's peak RSS (VmHWM) exceeds "
+                              "this many GiB (0 = no limit); the CI "
+                              "scale-smoke memory-regression guard")
     p_check.set_defaults(func=cmd_check)
 
     p_show = sub.add_parser("show", help="human-readable summary")
