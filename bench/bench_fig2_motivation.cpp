@@ -18,9 +18,12 @@
 //
 // Units: 1 unit of data = 1 GB, OCS = 8 Gb/s (1 GB per unit time = 1 s).
 #include <cstdio>
+#include <memory>
 
 #include "coflow/sunflow.h"
 #include "common/ids.h"
+#include "fabric/ocs_fabric.h"
+#include "net/network.h"
 
 using namespace cosched;
 
@@ -33,7 +36,9 @@ struct Case {
   IdAllocator<FlowId> flow_ids;
 
   explicit Case(Duration delta)
-      : net(sim, topo(delta)), sunflow(sim, net) {}
+      : net(sim, topo(delta),
+            std::make_unique<OcsFabric>(sim, topo(delta), 1)),
+        sunflow(sim, net.fabric()) {}
 
   static HybridTopology topo(Duration delta) {
     HybridTopology t;

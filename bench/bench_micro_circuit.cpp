@@ -14,6 +14,7 @@
 #include "coflow/bvn_circuit.h"
 #include "coflow/fifo_circuit.h"
 #include "coflow/sunflow.h"
+#include "fabric/ocs_fabric.h"
 #include "common/rng.h"
 #include "common/stats.h"
 
@@ -30,14 +31,15 @@ HybridTopology topo() {
 double run_batch(const std::string& kind, std::uint64_t seed,
                  int num_coflows) {
   Simulator sim;
-  Network net(sim, topo());
+  const HybridTopology t = topo();
+  Network net(sim, t, std::make_unique<OcsFabric>(sim, t, 1));
   std::unique_ptr<CircuitScheduler> sched;
   if (kind == "fifo") {
     sched = std::make_unique<FifoCircuitScheduler>(sim, net);
   } else if (kind == "bvn") {
     sched = std::make_unique<BvnCircuitScheduler>(sim, net);
   } else {
-    sched = std::make_unique<SunflowScheduler>(sim, net);
+    sched = std::make_unique<SunflowScheduler>(sim, net.fabric());
   }
 
   Rng rng(seed);

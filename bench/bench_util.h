@@ -13,6 +13,10 @@
 //                src/faults/fault_spec.h for the grammar, docs/FAULTS.md
 //                for the model), e.g.
 //                --faults=straggler:p=0.05:slow=2,ocs-outage:at=300s:dur=60s
+//   --fabric=SPEC circuit fabric carrying the elephants: ocs[:K] (K circuit
+//                planes; default ocs:1, the paper's single OCS), rotor[:P]
+//                (fixed-period round-robin matchings), mesh, or ring — see
+//                docs/FABRICS.md
 //   --audit / --no-audit
 //                enable/disable the runtime invariant auditor (see
 //                src/audit/). Default: on in Debug builds, off in Release.
@@ -145,6 +149,10 @@ struct BenchArgs {
   /// absent), plus the original spec string for display.
   FaultPlan faults;
   std::string faults_spec;
+  /// Circuit fabric (--fabric=ocs[:K]|rotor[:PERIOD]|mesh|ring; see
+  /// docs/FABRICS.md). Default ocs:1 — the paper's fabric.
+  FabricSpec fabric;
+  std::string fabric_spec = "ocs:1";
   /// Runtime invariant auditor (--audit / --no-audit). Defaults on in
   /// Debug builds and off in Release, matching SimConfig.
   bool audit = kAuditDefaultOn;
@@ -212,6 +220,16 @@ struct BenchArgs {
         }
         args.faults = *plan;
         args.faults_spec = faults;
+      } else if (const char* fabric = value("--fabric=")) {
+        std::string parse_error;
+        const std::optional<FabricSpec> spec =
+            FabricSpec::parse(fabric, &parse_error);
+        if (!spec.has_value()) {
+          *error = "--fabric: " + parse_error;
+          return std::nullopt;
+        }
+        args.fabric = *spec;
+        args.fabric_spec = spec->to_spec();
       } else if (const char* racks = value("--racks=")) {
         if (!parse_int32(racks, 2, 100000, &args.racks)) {
           *error = "--racks expects an integer >= 2, got '" +
@@ -299,6 +317,9 @@ struct BenchArgs {
         "          [--eps-engine=grouped|reference (default grouped)]\n"
         "          [--dispatch-engine=offer-queue|scan (default "
         "offer-queue)]\n"
+        "          [--fabric=ocs[:K]|rotor[:PERIOD]|mesh|ring (default "
+        "ocs:1;\n"
+        "           see docs/FABRICS.md)]\n"
         "          [--faults=SPEC (see docs/FAULTS.md)]\n"
         "          [--audit | --no-audit (invariant auditor; default %s)]\n"
         "          [--trace-out=PATH] [--counters-out=PATH]\n"
@@ -376,6 +397,7 @@ inline ExperimentConfig paper_config(const BenchArgs& args) {
   cfg.repetitions = args.reps;
   cfg.base_seed = args.seed;
   cfg.sim.faults = args.faults;
+  cfg.sim.fabric = args.fabric;
   cfg.sim.audit = args.audit;
   cfg.sim.sched_engine = args.sched_engine;
   cfg.sim.eps_engine = args.eps_engine;

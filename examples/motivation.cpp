@@ -7,11 +7,14 @@
 // lower bound, and simulated CCT for a "packed" and a "spread" reduce
 // placement.
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "coflow/bvn_clearance.h"
 #include "coflow/sunflow.h"
 #include "common/ids.h"
+#include "fabric/ocs_fabric.h"
+#include "net/network.h"
 
 using namespace cosched;
 
@@ -52,8 +55,9 @@ void run_case(const char* title, const std::vector<int>& reduces1,
               const std::vector<int>& reduces2) {
   std::printf("\n--- %s ---\n", title);
   Simulator sim;
-  Network net(sim, three_racks());
-  SunflowScheduler sunflow(sim, net);
+  const HybridTopology t = three_racks();
+  Network net(sim, t, std::make_unique<OcsFabric>(sim, t, 1));
+  SunflowScheduler sunflow(sim, net.fabric());
   IdAllocator<FlowId> ids;
 
   Coflow job1(CoflowId{1}, JobId{1});

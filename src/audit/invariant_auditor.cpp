@@ -25,10 +25,9 @@ constexpr double kRelativeSlack = 1e-9;
 }  // namespace
 
 InvariantAuditor::InvariantAuditor(const Simulator& sim, const Network& net,
-                                   const Cluster& cluster,
-                                   const SunflowScheduler& sunflow,
+                                   const Cluster& cluster, const Fabric& fabric,
                                    const HybridTopology& topo)
-    : sim_(sim), net_(net), cluster_(cluster), sunflow_(sunflow), topo_(topo) {
+    : sim_(sim), net_(net), cluster_(cluster), fabric_(fabric), topo_(topo) {
   granted_.assign(static_cast<std::size_t>(topo_.num_racks), 0);
 }
 
@@ -72,7 +71,8 @@ void InvariantAuditor::fail(const std::string& check,
      << " local=" << net_.eps().local_bits()
      << " ocs=" << net_.ocs_bits_transferred() << "\n";
   os << "in-flight (tracked remainder): " << in_flight << "\n";
-  os << "uncredited OCS settle: " << sunflow_.uncredited_settled_bits() << "\n";
+  os << "uncredited fabric settle: " << fabric_.uncredited_settled_bits()
+     << "\n";
   os << "tracked flows: " << flows_.size() << " (" << incomplete
      << " incomplete, " << completed_flow_events_ << " completion events)\n";
   os << "running tasks: " << running_tasks_.size()
@@ -276,46 +276,62 @@ void InvariantAuditor::on_job_finished(const Job& job) {
 void InvariantAuditor::check_ocs_ports() const {
   const std::int32_t racks = topo_.num_racks;
   std::vector<std::int32_t> in_refs(static_cast<std::size_t>(racks), 0);
-  std::int32_t busy_out = 0;
-  std::int32_t busy_in = 0;
-  const OcsSwitch& ocs = net_.ocs();
-  for (std::int32_t r = 0; r < racks; ++r) {
-    const RackId rack{r};
-    if (ocs.in_port_state(rack) != PortState::kFree) ++busy_in;
-    const PortState out = ocs.out_port_state(rack);
-    if (out == PortState::kFree) continue;
-    ++busy_out;
-    const auto peer = ocs.connected_to(rack);
-    if (!peer.has_value()) {
+  std::int64_t busy_out_total = 0;
+  std::int64_t reconfiguring_total = 0;
+  for (std::int32_t p = 0; p < fabric_.num_planes(); ++p) {
+    const OcsSwitch& ocs = *fabric_.plane(p);
+    std::fill(in_refs.begin(), in_refs.end(), 0);
+    std::int32_t busy_out = 0;
+    std::int32_t busy_in = 0;
+    for (std::int32_t r = 0; r < racks; ++r) {
+      const RackId rack{r};
+      if (ocs.in_port_state(rack) != PortState::kFree) ++busy_in;
+      const PortState out = ocs.out_port_state(rack);
+      if (out == PortState::kFree) continue;
+      ++busy_out;
+      const auto peer = ocs.connected_to(rack);
+      if (!peer.has_value()) {
+        std::ostringstream os;
+        os << "plane " << p << " out port " << rack << " busy with no peer";
+        fail("ocs-port-exclusivity", os.str());
+      }
+      if (++in_refs[static_cast<std::size_t>(peer->value())] > 1) {
+        std::ostringstream os;
+        os << "plane " << p << " in port " << *peer
+           << " targeted by more than one circuit";
+        fail("ocs-port-exclusivity", os.str());
+      }
+      if (ocs.in_port_state(*peer) != out) {
+        std::ostringstream os;
+        os << "plane " << p << " circuit " << rack << " -> " << *peer
+           << " has asymmetric port states";
+        fail("ocs-port-exclusivity", os.str());
+      }
+    }
+    if (busy_out != busy_in) {
       std::ostringstream os;
-      os << "out port " << rack << " busy with no peer";
+      os << "plane " << p << ": " << busy_out << " busy out ports vs "
+         << busy_in << " busy in ports";
       fail("ocs-port-exclusivity", os.str());
     }
-    if (++in_refs[static_cast<std::size_t>(peer->value())] > 1) {
+    if (!fabric_.plane_available(p) &&
+        (busy_out != 0 || ocs.reconfiguring_ports() != 0)) {
       std::ostringstream os;
-      os << "in port " << *peer << " targeted by more than one circuit";
-      fail("ocs-port-exclusivity", os.str());
+      os << "downed plane " << p << " has circuit activity: " << busy_out
+         << " busy ports, " << ocs.reconfiguring_ports() << " reconfiguring";
+      fail("ocs-outage-quiet", os.str());
     }
-    if (ocs.in_port_state(*peer) != out) {
-      std::ostringstream os;
-      os << "circuit " << rack << " -> " << *peer
-         << " has asymmetric port states";
-      fail("ocs-port-exclusivity", os.str());
-    }
-  }
-  if (busy_out != busy_in) {
-    std::ostringstream os;
-    os << busy_out << " busy out ports vs " << busy_in << " busy in ports";
-    fail("ocs-port-exclusivity", os.str());
+    busy_out_total += busy_out;
+    reconfiguring_total += ocs.reconfiguring_ports();
   }
   if (outage_depth_ > 0) {
-    if (busy_out != 0 || ocs.reconfiguring_ports() != 0 ||
-        sunflow_.active_transfers() != 0 || sunflow_.pending_flows() != 0) {
+    if (busy_out_total != 0 || reconfiguring_total != 0 ||
+        fabric_.active_transfers() != 0 || fabric_.pending_flows() != 0) {
       std::ostringstream os;
-      os << "circuit activity inside an outage window: " << busy_out
-         << " busy ports, " << ocs.reconfiguring_ports() << " reconfiguring, "
-         << sunflow_.active_transfers() << " transfers, "
-         << sunflow_.pending_flows() << " queued";
+      os << "circuit activity inside an outage window: " << busy_out_total
+         << " busy ports, " << reconfiguring_total << " reconfiguring, "
+         << fabric_.active_transfers() << " transfers, "
+         << fabric_.pending_flows() << " queued";
       fail("ocs-outage-quiet", os.str());
     }
   }
@@ -329,7 +345,7 @@ void InvariantAuditor::check_conservation() const {
     in_flight += ledger.flow->remaining_bits();
   }
   const double actual =
-      drained + in_flight + sunflow_.uncredited_settled_bits();
+      drained + in_flight + fabric_.uncredited_settled_bits();
   const double expected = injected_bits_ + phantom_bits_;
   const double tolerance =
       kRelativeSlack * std::max(expected, 1.0) +
@@ -340,7 +356,7 @@ void InvariantAuditor::check_conservation() const {
     os << std::setprecision(17);
     os << "injected " << expected << " bits != drained " << drained
        << " + in-flight " << in_flight << " + uncredited "
-       << sunflow_.uncredited_settled_bits() << " = " << actual
+       << fabric_.uncredited_settled_bits() << " = " << actual
        << " (delta " << expected - actual << ", tolerance " << tolerance
        << ")";
     fail("byte-conservation", os.str());
@@ -353,6 +369,9 @@ void InvariantAuditor::check_light() {
     check_rack_ledger(RackId{r});
   }
   check_ocs_ports();
+  if (const std::string report = fabric_.self_check(); !report.empty()) {
+    fail("fabric-self-check", report);
+  }
 }
 
 void InvariantAuditor::check_heavy() {
@@ -393,11 +412,11 @@ void InvariantAuditor::final_check() {
       fail("byte-conservation", os.str());
     }
   }
-  if (sunflow_.active_transfers() != 0 || sunflow_.pending_flows() != 0 ||
+  if (fabric_.active_transfers() != 0 || fabric_.pending_flows() != 0 ||
       net_.eps().active_flows() != 0) {
     std::ostringstream os;
-    os << "fabrics not empty at end of run: " << sunflow_.active_transfers()
-       << " OCS transfers, " << sunflow_.pending_flows() << " queued, "
+    os << "fabrics not empty at end of run: " << fabric_.active_transfers()
+       << " circuit transfers, " << fabric_.pending_flows() << " queued, "
        << net_.eps().active_flows() << " EPS flows";
     fail("byte-conservation", os.str());
   }

@@ -26,9 +26,12 @@
 //      used_slots and granted + free == capacity; a task never runs
 //      without a grant and never holds two. Checked at every grant,
 //      release, and kill, plus full sweeps with check_light().
-//   3. OCS port exclusivity — at most one circuit per ingress/egress port,
-//      out/in port states symmetric, and no circuit activity (connected,
-//      reconfiguring, or mid-transfer) inside an outage window.
+//   3. Fabric coherence — for plane-based fabrics (ocs:K), at most one
+//      circuit per ingress/egress port per plane, out/in port states
+//      symmetric, no activity on a downed plane; for every fabric, no
+//      circuit activity (connected, reconfiguring, or mid-transfer) inside
+//      a whole-fabric outage window, plus the fabric's own
+//      Fabric::self_check() invariants at every light check.
 //   4. Event-queue sanity — live-entry count matches the queue's ledger,
 //      no live event is scheduled before `now`, and compaction never drops
 //      a live handle (Simulator::queue_consistent()).
@@ -52,7 +55,6 @@
 
 #include "cluster/cluster.h"
 #include "cluster/job.h"
-#include "coflow/sunflow.h"
 #include "common/check.h"
 #include "net/network.h"
 #include "simcore/simulator.h"
@@ -72,7 +74,7 @@ class AuditFailure : public CheckFailure {
 class InvariantAuditor {
  public:
   InvariantAuditor(const Simulator& sim, const Network& net,
-                   const Cluster& cluster, const SunflowScheduler& sunflow,
+                   const Cluster& cluster, const Fabric& fabric,
                    const HybridTopology& topo);
 
   InvariantAuditor(const InvariantAuditor&) = delete;
@@ -96,15 +98,18 @@ class InvariantAuditor {
   void on_flow_routed(const Job& job, const Flow& flow);
   /// A flow drained (driver-level completion callback).
   void on_flow_completed(const Flow& flow);
-  /// An OCS outage window opened (called after Sunflow eviction) / closed.
+  /// A whole-fabric outage window opened (called after eviction) / closed.
+  /// Plane-targeted outages use check_light() instead — the surviving
+  /// planes keep transferring, so there is no quiet window to enforce.
   void on_outage_begin();
   void on_outage_end();
   /// A job completed: per-job conservation plus a global heavy check.
   void on_job_finished(const Job& job);
 
   // ----- check passes ------------------------------------------------------
-  /// O(racks) sweep: container ledger, OCS port exclusivity/symmetry,
-  /// outage quiet-window. Called at dispatch boundaries and outage edges.
+  /// O(racks * planes) sweep: container ledger, per-plane port
+  /// exclusivity/symmetry, outage quiet-window, fabric self_check.
+  /// Called at dispatch boundaries and outage edges.
   void check_light();
   /// check_light plus byte conservation over every tracked flow and the
   /// event-queue consistency scan.
@@ -148,7 +153,7 @@ class InvariantAuditor {
   const Simulator& sim_;
   const Network& net_;
   const Cluster& cluster_;
-  const SunflowScheduler& sunflow_;
+  const Fabric& fabric_;
   const HybridTopology& topo_;
 
   // Shadow container ledger.

@@ -1,30 +1,32 @@
 #include "coflow/sunflow.h"
 
 #include <algorithm>
+#include <sstream>
 #include <utility>
 
 #include "coflow/matching.h"
 #include "common/check.h"
 #include "common/log.h"
+#include "net/ocs_switch.h"
 #include "obs/observability.h"
 #include "obs/perf_monitor.h"
 #include "obs/profile.h"
 
 namespace cosched {
 
-SunflowScheduler::SunflowScheduler(Simulator& sim, Network& net)
-    : sim_(sim), net_(net) {}
+SunflowScheduler::SunflowScheduler(Simulator& sim, Fabric& fabric)
+    : sim_(sim), fabric_(fabric) {}
 
 void SunflowScheduler::submit(Coflow& coflow, Flow& flow) {
   COSCHED_CHECK(flow.path() == FlowPath::kOcs);
   COSCHED_CHECK_MSG(flow.src() != flow.dst(),
-                    "intra-rack flow routed to the OCS");
+                    "intra-rack flow routed to the circuit fabric");
   auto it = entries_.find(coflow.id());
   if (it == entries_.end()) {
     CoflowEntry entry;
     entry.coflow = &coflow;
     entry.priority_sec =
-        coflow.lower_bound(net_.ocs().link_rate(), net_.ocs().reconfig_delay())
+        coflow.lower_bound(fabric_.link_rate(), fabric_.reconfig_delay())
             .sec();
     it = entries_.emplace(coflow.id(), std::move(entry)).first;
     // Keep `order_` sorted by (priority, id): stable, deterministic.
@@ -58,7 +60,7 @@ void SunflowScheduler::demand_added(Flow& flow) {
   at.last_update = sim_.now();
   flow.completion_event().cancel();
   const Duration eta = Duration::seconds(
-      flow.remaining_bits() / net_.ocs().link_rate().in_bits_per_sec());
+      flow.remaining_bits() / fabric_.link_rate().in_bits_per_sec());
   FlowId id = flow.id();
   flow.completion_event() =
       sim_.schedule_after(eta, [this, id] { on_transfer_complete(id); });
@@ -79,26 +81,30 @@ DataSize SunflowScheduler::bytes_in_flight() const {
   return DataSize::bytes(static_cast<std::int64_t>(bits / 8.0));
 }
 
+void SunflowScheduler::evict_transfer(ActiveTransfer& at) {
+  Flow& flow = *at.flow;
+  if (at.state == TransferState::kTransferring) {
+    // Credit everything this transfer drained: the final settle plus any
+    // bits settled earlier at demand_added points (previously lost).
+    const double moved =
+        flow.settle(sim_.now() - at.last_update) + at.settled_bits;
+    uncredited_settled_bits_ -= at.settled_bits;
+    if (moved > 0.0) fabric_.credit_drained_bits(moved);
+    flow.completion_event().cancel();
+    flow.set_rate(Bandwidth::zero());
+  }
+  // Tears down a connected circuit, or cancels one mid-reconfiguration:
+  // the teardown's generation bump invalidates the pending setup
+  // completion, so start_transfer never fires for this flow.
+  fabric_.plane(at.plane)->teardown_circuit(flow.src(), flow.dst());
+}
+
 std::vector<Flow*> SunflowScheduler::evict_all() {
   std::vector<Flow*> evicted;
   evicted.reserve(active_.size() + pending_flows());
   for (auto& [id, at] : active_) {
-    Flow& flow = *at.flow;
-    if (at.state == TransferState::kTransferring) {
-      // Credit everything this transfer drained: the final settle plus any
-      // bits settled earlier at demand_added points (previously lost).
-      const double moved =
-          flow.settle(sim_.now() - at.last_update) + at.settled_bits;
-      uncredited_settled_bits_ -= at.settled_bits;
-      if (moved > 0.0) net_.note_ocs_drained_bits(moved);
-      flow.completion_event().cancel();
-      flow.set_rate(Bandwidth::zero());
-    }
-    // Tears down a connected circuit, or cancels one mid-reconfiguration:
-    // the teardown's generation bump invalidates the pending setup
-    // completion, so start_transfer never fires for this flow.
-    net_.ocs().teardown_circuit(flow.src(), flow.dst());
-    evicted.push_back(&flow);
+    evict_transfer(at);
+    evicted.push_back(at.flow);
   }
   active_.clear();
   for (CoflowId cid : order_) {
@@ -106,6 +112,36 @@ std::vector<Flow*> SunflowScheduler::evict_all() {
   }
   entries_.clear();
   order_.clear();
+  return evicted;
+}
+
+std::vector<Flow*> SunflowScheduler::evict_plane(std::int32_t plane) {
+  std::vector<Flow*> evicted;
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (it->second.plane != plane) {
+      ++it;
+      continue;
+    }
+    evict_transfer(it->second);
+    evicted.push_back(it->second.flow);
+    it = active_.erase(it);
+  }
+  // Drop coflow entries left with nothing queued and nothing in flight, so
+  // order_ does not accumulate husks across repeated plane outages. (A
+  // coflow that later reopens demand is resubmitted like any new coflow.)
+  for (auto eit = entries_.begin(); eit != entries_.end();) {
+    bool live = !eit->second.pending.empty();
+    for (auto ait = active_.begin(); !live && ait != active_.end(); ++ait) {
+      live = ait->second.flow->coflow() == eit->first;
+    }
+    if (live) {
+      ++eit;
+      continue;
+    }
+    order_.erase(std::remove(order_.begin(), order_.end(), eit->first),
+                 order_.end());
+    eit = entries_.erase(eit);
+  }
   return evicted;
 }
 
@@ -127,8 +163,9 @@ void SunflowScheduler::allocation_pass() {
   // not take them even if they are momentarily free. Without this, a long
   // low-priority transfer can slip onto a port during the few milliseconds
   // the head coflow spends waiting for its matching port to reconfigure,
-  // inverting Sunflow's shortest-coflow-first order.
-  const auto num_racks = static_cast<std::size_t>(net_.ocs().num_ports());
+  // inverting Sunflow's shortest-coflow-first order. Reservations span all
+  // planes (see the header comment).
+  const auto num_racks = static_cast<std::size_t>(fabric_.topology().num_racks);
   if (reserved_out_.size() < num_racks) {
     reserved_out_.resize(num_racks, 0);
     reserved_in_.resize(num_racks, 0);
@@ -139,97 +176,15 @@ void SunflowScheduler::allocation_pass() {
   }
   std::fill(reserved_out_.begin(), reserved_out_.end(), 0);
   std::fill(reserved_in_.begin(), reserved_in_.end(), 0);
+  const std::int32_t planes = fabric_.num_planes();
   for (CoflowId cid : order_) {
     CoflowEntry& entry = entries_.at(cid);
     if (entry.pending.empty()) continue;
-
-    // Give this coflow as many circuits as its pending flows can use on the
-    // currently-free ports: a maximum bipartite matching between free
-    // source output ports and free destination input ports. This is what
-    // lets an all-to-all shuffle use rotations of simultaneous circuits
-    // instead of serializing (Goal-2 / Figure 2 of the paper). srcs_/dsts_
-    // collect eligible racks in first-seen pending order, exactly as the
-    // former std::map emplace did.
-    ++scratch_gen_;
-    srcs_.clear();
-    dsts_.clear();
-    for (Flow* f : entry.pending) {
-      const auto s = static_cast<std::size_t>(f->src().value());
-      const auto d = static_cast<std::size_t>(f->dst().value());
-      if (!net_.ocs().out_port_free(f->src()) ||
-          !net_.ocs().in_port_free(f->dst()) ||
-          reserved_out_[s] != 0 || reserved_in_[d] != 0) {
-        continue;
-      }
-      if (src_seen_[s] != scratch_gen_) {
-        src_seen_[s] = scratch_gen_;
-        src_slot_[s] = srcs_.size();
-        srcs_.push_back(f->src());
-      }
-      if (dst_seen_[d] != scratch_gen_) {
-        dst_seen_[d] = scratch_gen_;
-        dst_slot_[d] = dsts_.size();
-        dsts_.push_back(f->dst());
-      }
-    }
-    if (srcs_.empty() || dsts_.empty()) {
-      for (Flow* f : entry.pending) {
-        reserved_out_[static_cast<std::size_t>(f->src().value())] = 1;
-        reserved_in_[static_cast<std::size_t>(f->dst().value())] = 1;
-      }
-      continue;
-    }
-
-    // Flows are aggregated per rack pair within a coflow, so at most one
-    // pending flow exists per (src, dst) edge.
-    if (adj_.size() < srcs_.size()) adj_.resize(srcs_.size());
-    for (std::size_t i = 0; i < srcs_.size(); ++i) adj_[i].clear();
-    BipartiteGraph graph(srcs_.size(), dsts_.size());
-    // Deterministic edge order: sort pending by (src, dst).
-    std::sort(entry.pending.begin(), entry.pending.end(),
-              [](const Flow* a, const Flow* b) {
-                return std::make_pair(a->src(), a->dst()) <
-                       std::make_pair(b->src(), b->dst());
-              });
-    for (Flow* f : entry.pending) {
-      const auto s = static_cast<std::size_t>(f->src().value());
-      const auto d = static_cast<std::size_t>(f->dst().value());
-      if (src_seen_[s] != scratch_gen_ || dst_seen_[d] != scratch_gen_) {
-        continue;
-      }
-      graph.add_edge(src_slot_[s], dst_slot_[d]);
-      adj_[src_slot_[s]].emplace_back(dst_slot_[d], f);
-    }
-    const MatchingResult match = maximum_bipartite_matching(graph);
-
-    for (std::size_t i = 0; i < srcs_.size(); ++i) {
-      const std::size_t j = match.match_left[i];
-      if (j == MatchingResult::kUnmatched) continue;
-      Flow* flow = nullptr;
-      for (const auto& [dj, f] : adj_[i]) {
-        if (dj == j) flow = f;  // last match mirrors the former map overwrite
-      }
-      COSCHED_CHECK(flow != nullptr);
-      entry.pending.erase(
-          std::remove(entry.pending.begin(), entry.pending.end(), flow),
-          entry.pending.end());
-      active_.emplace(flow->id(),
-                      ActiveTransfer{flow, TransferState::kReconfiguring,
-                                     sim_.now()});
-      if (obs_ != nullptr) {
-        obs_->decisions.record(CircuitDecision{
-            .at = sim_.now(),
-            .coflow = cid,
-            .job = flow->job(),
-            .flow = flow->id(),
-            .src = flow->src(),
-            .dst = flow->dst(),
-            .priority_sec = entry.priority_sec,
-            .bytes = flow->size()});
-      }
-      FlowId id = flow->id();
-      net_.ocs().setup_circuit(flow->src(), flow->dst(),
-                               [this, id] { start_transfer(id); });
+    // Try every available plane in plane order. On a single-plane fabric
+    // this loop body runs once — the pre-seam code sequence, bit for bit.
+    for (std::int32_t p = 0; p < planes && !entry.pending.empty(); ++p) {
+      if (!fabric_.plane_available(p)) continue;
+      match_on_plane(cid, entry, p);
     }
     // Whatever this coflow could not start keeps its ports reserved
     // against lower-priority coflows.
@@ -237,6 +192,92 @@ void SunflowScheduler::allocation_pass() {
       reserved_out_[static_cast<std::size_t>(f->src().value())] = 1;
       reserved_in_[static_cast<std::size_t>(f->dst().value())] = 1;
     }
+  }
+}
+
+void SunflowScheduler::match_on_plane(CoflowId cid, CoflowEntry& entry,
+                                      std::int32_t plane_index) {
+  OcsSwitch& plane = *fabric_.plane(plane_index);
+  // Give this coflow as many circuits as its pending flows can use on the
+  // plane's currently-free ports: a maximum bipartite matching between free
+  // source output ports and free destination input ports. This is what
+  // lets an all-to-all shuffle use rotations of simultaneous circuits
+  // instead of serializing (Goal-2 / Figure 2 of the paper). srcs_/dsts_
+  // collect eligible racks in first-seen pending order, exactly as the
+  // former std::map emplace did.
+  ++scratch_gen_;
+  srcs_.clear();
+  dsts_.clear();
+  for (Flow* f : entry.pending) {
+    const auto s = static_cast<std::size_t>(f->src().value());
+    const auto d = static_cast<std::size_t>(f->dst().value());
+    if (!plane.out_port_free(f->src()) || !plane.in_port_free(f->dst()) ||
+        reserved_out_[s] != 0 || reserved_in_[d] != 0) {
+      continue;
+    }
+    if (src_seen_[s] != scratch_gen_) {
+      src_seen_[s] = scratch_gen_;
+      src_slot_[s] = srcs_.size();
+      srcs_.push_back(f->src());
+    }
+    if (dst_seen_[d] != scratch_gen_) {
+      dst_seen_[d] = scratch_gen_;
+      dst_slot_[d] = dsts_.size();
+      dsts_.push_back(f->dst());
+    }
+  }
+  if (srcs_.empty() || dsts_.empty()) return;
+
+  // Flows are aggregated per rack pair within a coflow, so at most one
+  // pending flow exists per (src, dst) edge.
+  if (adj_.size() < srcs_.size()) adj_.resize(srcs_.size());
+  for (std::size_t i = 0; i < srcs_.size(); ++i) adj_[i].clear();
+  BipartiteGraph graph(srcs_.size(), dsts_.size());
+  // Deterministic edge order: sort pending by (src, dst).
+  std::sort(entry.pending.begin(), entry.pending.end(),
+            [](const Flow* a, const Flow* b) {
+              return std::make_pair(a->src(), a->dst()) <
+                     std::make_pair(b->src(), b->dst());
+            });
+  for (Flow* f : entry.pending) {
+    const auto s = static_cast<std::size_t>(f->src().value());
+    const auto d = static_cast<std::size_t>(f->dst().value());
+    if (src_seen_[s] != scratch_gen_ || dst_seen_[d] != scratch_gen_) {
+      continue;
+    }
+    graph.add_edge(src_slot_[s], dst_slot_[d]);
+    adj_[src_slot_[s]].emplace_back(dst_slot_[d], f);
+  }
+  const MatchingResult match = maximum_bipartite_matching(graph);
+
+  for (std::size_t i = 0; i < srcs_.size(); ++i) {
+    const std::size_t j = match.match_left[i];
+    if (j == MatchingResult::kUnmatched) continue;
+    Flow* flow = nullptr;
+    for (const auto& [dj, f] : adj_[i]) {
+      if (dj == j) flow = f;  // last match mirrors the former map overwrite
+    }
+    COSCHED_CHECK(flow != nullptr);
+    entry.pending.erase(
+        std::remove(entry.pending.begin(), entry.pending.end(), flow),
+        entry.pending.end());
+    active_.emplace(flow->id(),
+                    ActiveTransfer{flow, TransferState::kReconfiguring,
+                                   sim_.now(), 0.0, plane_index});
+    if (obs_ != nullptr) {
+      obs_->decisions.record(CircuitDecision{
+          .at = sim_.now(),
+          .coflow = cid,
+          .job = flow->job(),
+          .flow = flow->id(),
+          .src = flow->src(),
+          .dst = flow->dst(),
+          .priority_sec = entry.priority_sec,
+          .bytes = flow->size()});
+    }
+    FlowId id = flow->id();
+    plane.setup_circuit(flow->src(), flow->dst(),
+                        [this, id] { start_transfer(id); });
   }
 }
 
@@ -248,9 +289,9 @@ void SunflowScheduler::start_transfer(FlowId id) {
   at.state = TransferState::kTransferring;
   at.last_update = sim_.now();
   flow.mark_started(sim_.now());
-  flow.set_rate(net_.ocs().link_rate());
+  flow.set_rate(fabric_.link_rate());
   const Duration eta = Duration::seconds(
-      flow.remaining_bits() / net_.ocs().link_rate().in_bits_per_sec());
+      flow.remaining_bits() / fabric_.link_rate().in_bits_per_sec());
   flow.completion_event() =
       sim_.schedule_after(eta, [this, id] { on_transfer_complete(id); });
 }
@@ -259,14 +300,14 @@ void SunflowScheduler::on_transfer_complete(FlowId id) {
   auto it = active_.find(id);
   if (it == active_.end()) return;
   Flow& flow = *it->second.flow;
-  net_.ocs().teardown_circuit(flow.src(), flow.dst());
+  fabric_.plane(it->second.plane)->teardown_circuit(flow.src(), flow.dst());
   // Credit only what this flow has not been credited before: a flow whose
-  // demand reopened after an earlier OCS completion carries its first
+  // demand reopened after an earlier circuit completion carries its first
   // transfer in size(), and crediting the full size again would double-
   // count it. Integer DataSize arithmetic, so the common single-completion
   // case credits exactly size() as before.
   DataSize& credited = credited_[id];
-  net_.note_ocs_bytes(flow.size() - credited);
+  fabric_.credit_bytes(flow.size() - credited);
   credited = flow.size();
   uncredited_settled_bits_ -= it->second.settled_bits;
   flow.mark_completed(sim_.now());
@@ -283,6 +324,39 @@ void SunflowScheduler::on_transfer_complete(FlowId id) {
 
   notify_flow_complete(flow);
   request_allocation_pass();
+}
+
+std::string SunflowScheduler::self_check() const {
+  std::int64_t transferring = 0;
+  std::int64_t reconfiguring = 0;
+  for (const auto& [id, at] : active_) {
+    if (!fabric_.plane_available(at.plane)) {
+      std::ostringstream os;
+      os << "flow " << id << " holds a circuit on plane " << at.plane
+         << " which is inside an outage window";
+      return os.str();
+    }
+    if (at.state == TransferState::kTransferring) {
+      ++transferring;
+    } else {
+      ++reconfiguring;
+    }
+  }
+  std::int64_t connected_ports = 0;
+  std::int64_t reconfiguring_ports = 0;
+  for (std::int32_t p = 0; p < fabric_.num_planes(); ++p) {
+    connected_ports += fabric_.plane(p)->active_circuits();
+    reconfiguring_ports += fabric_.plane(p)->reconfiguring_ports();
+  }
+  if (connected_ports != transferring || reconfiguring_ports != reconfiguring) {
+    std::ostringstream os;
+    os << "plane port states diverge from transfers: " << connected_ports
+       << " connected ports vs " << transferring << " transferring flows, "
+       << reconfiguring_ports << " reconfiguring ports vs " << reconfiguring
+       << " reconfiguring flows";
+    return os.str();
+  }
+  return {};
 }
 
 }  // namespace cosched

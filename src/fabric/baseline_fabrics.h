@@ -1,0 +1,115 @@
+// Bracketing baselines: MeshFabric and RingFabric.
+//
+// Neither models a real optical design — they bound the OCS results from
+// both sides. MeshFabric is an idealized full mesh: every rack pair has a
+// permanent dedicated circuit at the full OCS link rate, so there is no
+// reconfiguration, no matching constraint, and no cross-pair contention
+// (an upper bound no circuit switch can beat). RingFabric is a static
+// unidirectional ring: rack i's only optical egress is toward rack i+1,
+// and a flow to a rack h hops away rides h store-and-forward segments,
+// modeled as a single transfer at link_rate / h with one transfer per
+// source rack at a time (a deliberately weak static topology).
+//
+// Both serve flows FIFO per queue (per rack pair for mesh, per source
+// rack for ring), settle drained bits eagerly, and keep no hidden state,
+// so uncredited_settled_bits() is always zero.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "net/fabric.h"
+#include "simcore/simulator.h"
+
+namespace cosched {
+
+/// Shared skeleton: N FIFO queues, at most one transfer in service per
+/// queue, constant per-flow rate, completion events always scheduled.
+class FifoFabric : public Fabric {
+ public:
+  FifoFabric(Simulator& sim, const HybridTopology& topo,
+             std::size_t num_queues);
+
+  void submit(Coflow& coflow, Flow& flow) override;
+  void demand_added(Flow& flow) override;
+  [[nodiscard]] std::vector<Flow*> evict_all() override;
+
+  [[nodiscard]] std::size_t pending_flows() const override {
+    return pending_count_;
+  }
+  [[nodiscard]] std::size_t active_transfers() const override {
+    return active_count_;
+  }
+  [[nodiscard]] std::int64_t active_circuits() const override {
+    return static_cast<std::int64_t>(active_count_);
+  }
+  [[nodiscard]] DataSize bytes_in_flight() const override;
+  [[nodiscard]] std::string self_check() const override;
+
+ protected:
+  /// Which FIFO serves `flow`.
+  [[nodiscard]] virtual std::size_t queue_index(const Flow& flow) const = 0;
+  /// The constant rate `flow` drains at while in service.
+  [[nodiscard]] virtual Bandwidth rate_for(const Flow& flow) const = 0;
+
+ private:
+  struct Active {
+    Flow* flow = nullptr;
+    SimTime last_update = SimTime::zero();
+  };
+
+  void start_transfer(std::size_t queue);
+  void on_transfer_complete(std::size_t queue);
+  void settle_active(Active& active);
+  void schedule_completion(std::size_t queue, Flow& flow);
+
+  Simulator& sim_;
+  std::vector<std::deque<Flow*>> queues_;
+  std::vector<Active> active_;
+  std::size_t pending_count_ = 0;
+  std::size_t active_count_ = 0;
+};
+
+class MeshFabric final : public FifoFabric {
+ public:
+  MeshFabric(Simulator& sim, const HybridTopology& topo);
+
+  [[nodiscard]] FabricKind kind() const override { return FabricKind::kMesh; }
+  [[nodiscard]] std::string name() const override { return "mesh"; }
+
+ protected:
+  [[nodiscard]] std::size_t queue_index(const Flow& flow) const override {
+    return static_cast<std::size_t>(flow.src().value()) *
+               static_cast<std::size_t>(topo_.num_racks) +
+           static_cast<std::size_t>(flow.dst().value());
+  }
+  [[nodiscard]] Bandwidth rate_for(const Flow&) const override {
+    return link_rate();
+  }
+};
+
+class RingFabric final : public FifoFabric {
+ public:
+  RingFabric(Simulator& sim, const HybridTopology& topo);
+
+  [[nodiscard]] FabricKind kind() const override { return FabricKind::kRing; }
+  [[nodiscard]] std::string name() const override { return "ring"; }
+
+  /// Clockwise hop count src -> dst, in [1, R-1] for cross-rack flows.
+  [[nodiscard]] std::int32_t hops(RackId src, RackId dst) const {
+    const std::int32_t racks = topo_.num_racks;
+    return (dst.value() - src.value() + racks) % racks;
+  }
+
+ protected:
+  [[nodiscard]] std::size_t queue_index(const Flow& flow) const override {
+    return static_cast<std::size_t>(flow.src().value());
+  }
+  [[nodiscard]] Bandwidth rate_for(const Flow& flow) const override {
+    return link_rate() / static_cast<double>(hops(flow.src(), flow.dst()));
+  }
+};
+
+}  // namespace cosched

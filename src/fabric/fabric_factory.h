@@ -1,0 +1,17 @@
+// The one place a FabricSpec becomes a live fabric. Everything above the
+// seam (driver, benches, tests) builds fabrics through here so adding a
+// fabric kind touches exactly src/fabric/.
+#pragma once
+
+#include <memory>
+
+#include "net/fabric.h"
+#include "simcore/simulator.h"
+
+namespace cosched {
+
+[[nodiscard]] std::unique_ptr<Fabric> make_fabric(Simulator& sim,
+                                                  const HybridTopology& topo,
+                                                  const FabricSpec& spec);
+
+}  // namespace cosched

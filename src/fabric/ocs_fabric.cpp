@@ -1,0 +1,59 @@
+#include "fabric/ocs_fabric.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace cosched {
+
+OcsFabric::OcsFabric(Simulator& sim, const HybridTopology& topo,
+                     std::int32_t planes)
+    : Fabric(topo), sunflow_(sim, *this) {
+  COSCHED_CHECK_MSG(planes >= 1, "OcsFabric needs at least one plane, got "
+                                     << planes);
+  planes_.reserve(static_cast<std::size_t>(planes));
+  for (std::int32_t p = 0; p < planes; ++p) {
+    planes_.push_back(std::make_unique<OcsSwitch>(sim, topo));
+  }
+  down_.assign(static_cast<std::size_t>(planes), 0);
+  // Chain Sunflow's per-flow completion hook into the fabric-level one, so
+  // whatever the driver registers via Fabric::set_on_flow_complete fires.
+  sunflow_.set_on_flow_complete([this](Flow& f) { notify_flow_complete(f); });
+}
+
+std::vector<Flow*> OcsFabric::begin_plane_outage(std::int32_t plane_index) {
+  COSCHED_CHECK_MSG(plane_index >= 0 && plane_index < num_planes(),
+                    name() << " has no plane " << plane_index);
+  ++down_[static_cast<std::size_t>(plane_index)];
+  return sunflow_.evict_plane(plane_index);
+}
+
+void OcsFabric::end_plane_outage(std::int32_t plane_index) {
+  COSCHED_CHECK_MSG(plane_index >= 0 && plane_index < num_planes(),
+                    name() << " has no plane " << plane_index);
+  auto& depth = down_[static_cast<std::size_t>(plane_index)];
+  COSCHED_CHECK_MSG(depth > 0, "plane " << plane_index
+                                        << " outage ended that never began");
+  --depth;
+  // Queued demand may have been waiting for exactly this plane's ports.
+  if (depth == 0) sunflow_.kick();
+}
+
+std::int64_t OcsFabric::active_circuits() const {
+  std::int64_t n = 0;
+  for (const auto& plane : planes_) n += plane->active_circuits();
+  return n;
+}
+
+void OcsFabric::set_trace(TraceRecorder* trace) {
+  for (const auto& plane : planes_) plane->set_trace(trace);
+}
+
+void OcsFabric::set_reconfig_delay_provider(
+    std::function<Duration()> provider) {
+  // One shared provider: every plane's setups draw from the same jitter
+  // stream in setup order, exactly as the single OCS did.
+  for (const auto& plane : planes_) plane->set_reconfig_delay_provider(provider);
+}
+
+}  // namespace cosched

@@ -128,6 +128,21 @@ bool parse_clause(const std::string& clause, FaultPlan* plan,
     for (std::size_t i = 1; i < parts.size(); ++i) {
       KeyValue kv;
       if (!parse_kv(parts[i], &kv, error, name)) return false;
+      if (kv.key == "plane") {
+        // Plane indices are bare non-negative integers (no 's' suffix).
+        double p = 0.0;
+        const auto plane = [&]() -> std::int32_t {
+          if (!parse_double(kv.value, false, &p)) return -1;
+          const auto n = static_cast<std::int32_t>(p);
+          return (p >= 0.0 && static_cast<double>(n) == p) ? n : -1;
+        }();
+        if (plane < 0) {
+          return fail(error, "ocs-outage: plane must be a non-negative "
+                             "integer, got '" + kv.value + "'");
+        }
+        f.plane = plane;
+        continue;
+      }
       double v = 0.0;
       if (!parse_double(kv.value, true, &v)) {
         return fail(error, "ocs-outage: bad duration '" + kv.value + "'");
@@ -244,8 +259,10 @@ std::string FaultPlan::to_spec() const {
     append("container-kill:p=" + fmt(container_kill->p));
   }
   for (const OcsOutageFault& o : ocs_outages) {
-    append("ocs-outage:at=" + fmt(o.at.sec()) + "s:dur=" + fmt(o.dur.sec()) +
-           "s");
+    std::string clause = "ocs-outage:at=" + fmt(o.at.sec()) +
+                         "s:dur=" + fmt(o.dur.sec()) + "s";
+    if (o.plane >= 0) clause += ":plane=" + std::to_string(o.plane);
+    append(clause);
   }
   if (reconfig_jitter.has_value()) {
     append("reconfig-jitter:pct=" + fmt(reconfig_jitter->pct * 100.0));

@@ -18,7 +18,9 @@
 //   container-kill:p=0.01          p: per-attempt probability of a mid-run
 //                                  kill; the task re-executes
 //   ocs-outage:at=300s:dur=60s     repeatable; OCS unavailable in
-//                                  [at, at+dur), elephants fall back to EPS
+//                                  [at, at+dur), elephants fall back to EPS;
+//                                  an optional plane=N (N >= 0) fails only
+//                                  circuit plane N of an ocs:K fabric
 //   reconfig-jitter:pct=50         each circuit setup pays
 //                                  delta * U[1-pct/100, 1+pct/100]
 //   trem-noise:pct=30              T_rem estimator error rate (overrides
@@ -30,6 +32,7 @@
 // run without the faults layer at all (see docs/FAULTS.md).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -55,6 +58,10 @@ struct OcsOutageFault {
   /// every in-flight circuit transfer is evicted onto the EPS.
   SimTime at = SimTime::zero();
   Duration dur = Duration::zero();
+  /// Target: -1 (the default) fails the whole fabric; >= 0 fails only that
+  /// circuit plane of an ocs:K fabric — its in-flight transfers are evicted
+  /// onto the EPS, queued demand stays for the surviving planes.
+  std::int32_t plane = -1;
 };
 
 struct ReconfigJitterFault {

@@ -1,11 +1,15 @@
-// Facade over the hybrid network: the EPS fabric, the OCS, and traffic
-// accounting. Routing policy (the c-Through elephant rule) lives here.
+// Facade over the hybrid network: the EPS fabric, a pluggable circuit
+// fabric (src/net/fabric.h; implementations in src/fabric/), and traffic
+// accounting. Routing policy (the c-Through elephant rule, delegated to
+// Fabric::admits) lives here.
 #pragma once
 
 #include <memory>
+#include <utility>
 
 #include "common/check.h"
 #include "net/eps_fabric.h"
+#include "net/fabric.h"
 #include "net/ocs_switch.h"
 #include "net/topology.h"
 
@@ -13,30 +17,55 @@ namespace cosched {
 
 class Network {
  public:
-  Network(Simulator& sim, const HybridTopology& topo)
-      : topo_(topo), eps_(sim, topo), ocs_(sim, topo) {
+  /// The circuit side is injected: make_fabric (src/fabric/) builds one
+  /// from a FabricSpec; tests and benches that want the paper's fabric
+  /// construct OcsFabric{K=1} directly.
+  Network(Simulator& sim, const HybridTopology& topo,
+          std::unique_ptr<Fabric> fabric)
+      : topo_(topo), eps_(sim, topo), fabric_(std::move(fabric)) {
     topo_.validate();
+    COSCHED_CHECK_MSG(fabric_ != nullptr, "Network needs a circuit fabric");
   }
 
   [[nodiscard]] const HybridTopology& topology() const { return topo_; }
   [[nodiscard]] EpsFabric& eps() { return eps_; }
-  [[nodiscard]] OcsSwitch& ocs() { return ocs_; }
   [[nodiscard]] const EpsFabric& eps() const { return eps_; }
-  [[nodiscard]] const OcsSwitch& ocs() const { return ocs_; }
+  [[nodiscard]] Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] const Fabric& fabric() const { return *fabric_; }
 
-  /// Route a flow: local if intra-rack, OCS if the aggregated rack-pair
-  /// demand reaches the elephant threshold, EPS otherwise. During an OCS
-  /// outage every cross-rack flow degrades to the EPS.
+  /// The first circuit plane, for callers wired to the paper's single-OCS
+  /// shape (fifo/bvn circuit schedulers, micro-benches). Aborts on fabrics
+  /// without planes — route through fabric() instead.
+  [[nodiscard]] OcsSwitch& ocs() {
+    OcsSwitch* plane = fabric_->plane(0);
+    COSCHED_CHECK_MSG(plane != nullptr,
+                      "Network::ocs(): fabric " << fabric_->name()
+                                                << " has no OCS planes");
+    return *plane;
+  }
+  [[nodiscard]] const OcsSwitch& ocs() const {
+    const OcsSwitch* plane = std::as_const(*fabric_).plane(0);
+    COSCHED_CHECK_MSG(plane != nullptr,
+                      "Network::ocs(): fabric " << fabric_->name()
+                                                << " has no OCS planes");
+    return *plane;
+  }
+
+  /// Route a flow: local if intra-rack, the circuit fabric if it admits
+  /// the flow (the c-Through elephant rule for every current fabric), EPS
+  /// otherwise. During a whole-fabric outage every cross-rack flow
+  /// degrades to the EPS.
   [[nodiscard]] FlowPath classify(const Flow& flow) const {
     if (flow.src() == flow.dst()) return FlowPath::kLocal;
     if (!ocs_available()) return FlowPath::kEps;
-    if (flow.size() >= topo_.elephant_threshold) return FlowPath::kOcs;
+    if (fabric_->admits(flow)) return FlowPath::kOcs;
     return FlowPath::kEps;
   }
 
-  // ----- OCS availability (fault injection) --------------------------------
-  // A depth counter so overlapping outage windows compose: the OCS is back
-  // only when every window that covers `now` has ended.
+  // ----- circuit-fabric availability (fault injection) ---------------------
+  // A depth counter so overlapping outage windows compose: the fabric is
+  // back only when every window that covers `now` has ended. (Plane-scoped
+  // outages live on the fabric itself and do not touch this.)
   [[nodiscard]] bool ocs_available() const { return ocs_down_depth_ == 0; }
   void begin_ocs_outage() { ++ocs_down_depth_; }
   void end_ocs_outage() {
@@ -44,24 +73,20 @@ class Network {
     --ocs_down_depth_;
   }
 
-  /// OCS byte accounting, reported by the circuit scheduler as transfers
-  /// drain (the OCS itself is rate-constant so the scheduler owns timing).
-  void note_ocs_bytes(DataSize bytes) { ocs_bytes_ += bytes; }
-  /// Partial-drain accounting for circuits torn down mid-transfer (OCS
-  /// outage eviction). Kept in a separate accumulator so runs without
-  /// evictions report byte counts bit-identical to runs without this hook.
-  void note_ocs_drained_bits(double bits) { ocs_evicted_bits_ += bits; }
+  /// Circuit-fabric byte accounting, delegated to the fabric's shared
+  /// ledger (Fabric::credit_bytes / credit_drained_bits).
+  void note_ocs_bytes(DataSize bytes) { fabric_->credit_bytes(bytes); }
+  void note_ocs_drained_bits(double bits) {
+    fabric_->credit_drained_bits(bits);
+  }
 
   [[nodiscard]] DataSize ocs_bytes_transferred() const {
-    if (ocs_evicted_bits_ == 0.0) return ocs_bytes_;
-    return ocs_bytes_ +
-           DataSize::bytes(static_cast<std::int64_t>(ocs_evicted_bits_ / 8.0));
+    return fabric_->bytes_transferred();
   }
-  /// Exact drained OCS bits (no byte truncation), for the invariant
+  /// Exact drained circuit bits (no byte truncation), for the invariant
   /// auditor's conservation identity.
   [[nodiscard]] double ocs_bits_transferred() const {
-    return static_cast<double>(ocs_bytes_.in_bytes()) * 8.0 +
-           ocs_evicted_bits_;
+    return fabric_->bits_transferred();
   }
   [[nodiscard]] DataSize eps_bytes_transferred() const {
     return eps_.eps_bytes_transferred();
@@ -73,9 +98,7 @@ class Network {
  private:
   HybridTopology topo_;
   EpsFabric eps_;
-  OcsSwitch ocs_;
-  DataSize ocs_bytes_ = DataSize::zero();
-  double ocs_evicted_bits_ = 0.0;
+  std::unique_ptr<Fabric> fabric_;
   std::int32_t ocs_down_depth_ = 0;
 };
 

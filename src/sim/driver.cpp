@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "fabric/fabric_factory.h"
 #include "obs/observability.h"
 #include "obs/perf_monitor.h"
 #include "obs/profile.h"
@@ -18,8 +19,7 @@ SimulationDriver::SimulationDriver(SimConfig cfg, std::vector<JobSpec> workload,
     : cfg_(cfg),
       workload_(std::move(workload)),
       scheduler_(std::move(scheduler)),
-      net_(sim_, cfg_.topo),
-      sunflow_(sim_, net_),
+      net_(sim_, cfg_.topo, make_fabric(sim_, cfg_.topo, cfg_.fabric)),
       cluster_(cfg_.topo),
       rng_(cfg_.seed),
       trem_(Rng(cfg_.seed).fork(0xbeef),
@@ -37,17 +37,18 @@ SimulationDriver::SimulationDriver(SimConfig cfg, std::vector<JobSpec> workload,
   scheduler_->set_sched_engine(cfg_.sched_engine);
   if (cfg_.audit) {
     audit_ = std::make_unique<InvariantAuditor>(sim_, net_, cluster_,
-                                                sunflow_, cfg_.topo);
+                                                net_.fabric(), cfg_.topo);
   }
-  sunflow_.set_on_flow_complete([this](Flow& f) { on_flow_complete(f); });
+  net_.fabric().set_on_flow_complete(
+      [this](Flow& f) { on_flow_complete(f); });
   if (faults_.has_reconfig_jitter()) {
-    net_.ocs().set_reconfig_delay_provider([this] {
+    net_.fabric().set_reconfig_delay_provider([this] {
       return faults_.jittered_reconfig_delay(cfg_.topo.ocs_reconfig_delay);
     });
   }
   if (cfg_.obs != nullptr) {
-    net_.ocs().set_trace(&cfg_.obs->trace);
-    sunflow_.set_observability(cfg_.obs);
+    net_.fabric().set_trace(&cfg_.obs->trace);
+    net_.fabric().set_observability(cfg_.obs);
     register_counters();
   }
 }
@@ -74,19 +75,20 @@ void SimulationDriver::register_counters() {
     });
   }
   c.add_gauge("ocs.circuits_active", [this] {
-    return static_cast<double>(net_.ocs().active_circuits());
+    return static_cast<double>(net_.fabric().active_circuits());
   });
   c.add_gauge("ocs.utilization", [this] {
-    return static_cast<double>(net_.ocs().active_circuits()) /
+    return static_cast<double>(net_.fabric().active_circuits()) /
            static_cast<double>(cfg_.topo.num_racks);
   });
   c.add_gauge("ocs.transfers_active", [this] {
-    return static_cast<double>(sunflow_.active_transfers());
+    return static_cast<double>(net_.fabric().active_transfers());
   });
-  c.add_gauge("ocs.gb_in_flight",
-              [this] { return sunflow_.bytes_in_flight().in_gigabytes(); });
+  c.add_gauge("ocs.gb_in_flight", [this] {
+    return net_.fabric().bytes_in_flight().in_gigabytes();
+  });
   c.add_gauge("coflows.active", [this] {
-    return static_cast<double>(sunflow_.active_coflows());
+    return static_cast<double>(net_.fabric().active_coflows());
   });
   c.add_gauge("eps.flows_active", [this] {
     return static_cast<double>(net_.eps().active_flows());
@@ -584,7 +586,7 @@ void SimulationDriver::route_flow(Job& job, Flow& flow, bool created) {
     flows_in_fabric_.insert(flow.id());
     if (audit_) audit_->on_flow_routed(job, flow);
     if (flow.path() == FlowPath::kOcs) {
-      sunflow_.submit(job.coflow(), flow);
+      net_.fabric().submit(job.coflow(), flow);
     } else {
       net_.eps().start_flow(flow, [this](Flow& f) { on_flow_complete(f); });
     }
@@ -596,7 +598,7 @@ void SimulationDriver::route_flow(Job& job, Flow& flow, bool created) {
     // failure of overlapping schedulers the paper describes).
     if (audit_) audit_->on_flow_routed(job, flow);
     if (flow.path() == FlowPath::kOcs) {
-      sunflow_.demand_added(flow);
+      net_.fabric().demand_added(flow);
     } else {
       net_.eps().demand_added(flow);
     }
@@ -611,7 +613,7 @@ void SimulationDriver::route_flow(Job& job, Flow& flow, bool created) {
   }
   if (audit_) audit_->on_flow_routed(job, flow);
   if (flow.path() == FlowPath::kOcs) {
-    sunflow_.submit(job.coflow(), flow);
+    net_.fabric().submit(job.coflow(), flow);
   } else {
     net_.eps().start_flow(flow, [this](Flow& f) { on_flow_complete(f); });
   }
@@ -752,22 +754,10 @@ void SimulationDriver::on_task_killed(Job& job, Task& task) {
   request_dispatch();
 }
 
-void SimulationDriver::begin_ocs_outage(const OcsOutageFault& outage) {
-  ++faults_.stats().ocs_outages;
-  faults_.stats().ocs_downtime_sec += outage.dur.sec();
-  net_.begin_ocs_outage();
-  if (cfg_.obs != nullptr) {
-    cfg_.obs->trace.record({.kind = TraceEventKind::kOcsOutage,
-                            .at = sim_.now(),
-                            .a = 1,
-                            .b = outage.dur.sec()});
-    cfg_.obs->decisions.record(FaultDecision{.at = sim_.now(),
-                                             .action = FaultAction::kOutageBegin,
-                                             .value = outage.dur.sec()});
-  }
-  // Degrade gracefully: everything the circuit scheduler held — queued or
+void SimulationDriver::reroute_evicted(const std::vector<Flow*>& evicted) {
+  // Degrade gracefully: everything the outage evicted — queued or
   // mid-transfer — finishes its remaining bytes over the EPS.
-  for (Flow* flow : sunflow_.evict_all()) {
+  for (Flow* flow : evicted) {
     ++faults_.stats().flows_evicted;
     if (cfg_.obs != nullptr) {
       cfg_.obs->trace.record({.kind = TraceEventKind::kFlowEvicted,
@@ -786,12 +776,44 @@ void SimulationDriver::begin_ocs_outage(const OcsOutageFault& outage) {
     flow->set_path(FlowPath::kEps);
     net_.eps().start_flow(*flow, [this](Flow& f) { on_flow_complete(f); });
   }
+}
+
+void SimulationDriver::begin_ocs_outage(const OcsOutageFault& outage) {
+  ++faults_.stats().ocs_outages;
+  faults_.stats().ocs_downtime_sec += outage.dur.sec();
+  if (cfg_.obs != nullptr) {
+    cfg_.obs->trace.record({.kind = TraceEventKind::kOcsOutage,
+                            .at = sim_.now(),
+                            .a = 1,
+                            .b = outage.dur.sec()});
+    cfg_.obs->decisions.record(FaultDecision{.at = sim_.now(),
+                                             .action = FaultAction::kOutageBegin,
+                                             .value = outage.dur.sec()});
+  }
+  if (outage.plane >= 0 && outage.plane < net_.fabric().num_planes()) {
+    // Plane-targeted: only that plane's in-flight transfers are evicted;
+    // queued demand stays (the surviving planes serve it), classification
+    // is unchanged, and allocation skips the plane until it heals. A plane
+    // index the fabric doesn't have (plane=3 on ocs:2, any plane= on
+    // rotor/mesh/ring) degrades to a whole-fabric outage below, so fault
+    // plans stay composable with every --fabric choice.
+    reroute_evicted(net_.fabric().begin_plane_outage(outage.plane));
+    if (audit_) audit_->check_light();
+    return;
+  }
+  net_.begin_ocs_outage();
+  reroute_evicted(net_.fabric().evict_all());
   if (audit_) audit_->on_outage_begin();
 }
 
 void SimulationDriver::end_ocs_outage(const OcsOutageFault& outage) {
-  net_.end_ocs_outage();
-  if (audit_) audit_->on_outage_end();
+  if (outage.plane >= 0 && outage.plane < net_.fabric().num_planes()) {
+    net_.fabric().end_plane_outage(outage.plane);
+    if (audit_) audit_->check_light();
+  } else {
+    net_.end_ocs_outage();
+    if (audit_) audit_->on_outage_end();
+  }
   if (cfg_.obs != nullptr) {
     cfg_.obs->trace.record({.kind = TraceEventKind::kOcsOutage,
                             .at = sim_.now(),

@@ -36,7 +36,6 @@
 #include "cluster/cluster.h"
 #include "cluster/job.h"
 #include "cluster/trem_estimator.h"
-#include "coflow/sunflow.h"
 #include "common/rng.h"
 #include "faults/fault_injector.h"
 #include "metrics/metrics.h"
@@ -75,6 +74,10 @@ enum class DispatchEngine : std::uint8_t { kOfferQueue, kScan };
 
 struct SimConfig {
   HybridTopology topo;
+  /// Which circuit fabric carries the elephants (docs/FABRICS.md). The
+  /// default — ocs:1 — is the paper's single-core OCS and runs the exact
+  /// pre-fabric-seam code path bit for bit.
+  FabricSpec fabric;
   /// Hadoop slow-start fraction for overlapping schedulers: the share of a
   /// job's maps that must finish before its reduces may take containers.
   /// Hadoop's default is 0.05 — the conventional overlap whose container
@@ -190,6 +193,9 @@ class SimulationDriver : public AvailabilityOracle {
   void on_task_killed(Job& job, Task& task);
   void begin_ocs_outage(const OcsOutageFault& outage);
   void end_ocs_outage(const OcsOutageFault& outage);
+  /// Shared outage epilogue: every evicted flow (whole-fabric or single
+  /// plane) finishes its remaining bytes over the EPS.
+  void reroute_evicted(const std::vector<Flow*>& evicted);
 
   /// Materialize shuffle demand for every placed-but-undemanded reduce of
   /// `job` (idempotent; requires all maps done). The single entry point
@@ -215,7 +221,6 @@ class SimulationDriver : public AvailabilityOracle {
 
   Simulator sim_;
   Network net_;
-  SunflowScheduler sunflow_;
   Cluster cluster_;
   Rng rng_;
   TremEstimator trem_;

@@ -304,5 +304,46 @@ TEST(BenchArgsParse, AuditFlagToggles) {
   EXPECT_FALSE(paper_config(*off).sim.audit);
 }
 
+TEST(BenchArgsParse, FabricDefaultsToSingleCoreOcs) {
+  const auto args = parse({});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_EQ(args->fabric_spec, "ocs:1");
+  EXPECT_EQ(args->fabric, FabricSpec{});
+  EXPECT_EQ(paper_config(*args).sim.fabric, FabricSpec{});
+}
+
+TEST(BenchArgsParse, FabricFlagParsesEveryKind) {
+  const auto kcore = parse({"--fabric=ocs:4"});
+  ASSERT_TRUE(kcore.has_value());
+  EXPECT_EQ(kcore->fabric.kind, FabricKind::kOcs);
+  EXPECT_EQ(kcore->fabric.planes, 4);
+  EXPECT_EQ(kcore->fabric_spec, "ocs:4");
+  EXPECT_EQ(paper_config(*kcore).sim.fabric.planes, 4);
+
+  const auto rotor = parse({"--fabric=rotor:50ms"});
+  ASSERT_TRUE(rotor.has_value());
+  EXPECT_EQ(rotor->fabric.kind, FabricKind::kRotor);
+  EXPECT_DOUBLE_EQ(rotor->fabric.rotor_period.sec(), 0.05);
+
+  const auto mesh = parse({"--fabric=mesh"});
+  ASSERT_TRUE(mesh.has_value());
+  EXPECT_EQ(mesh->fabric.kind, FabricKind::kMesh);
+
+  const auto ring = parse({"--fabric=ring"});
+  ASSERT_TRUE(ring.has_value());
+  EXPECT_EQ(ring->fabric.kind, FabricKind::kRing);
+}
+
+TEST(BenchArgsParse, RejectsMalformedFabricSpecs) {
+  for (const char* flag :
+       {"--fabric=", "--fabric=ocs:0", "--fabric=ocs:65", "--fabric=ocs:2x",
+        "--fabric=rotor:abc", "--fabric=rotor:0", "--fabric=mesh:1",
+        "--fabric=ring:2", "--fabric=torus"}) {
+    std::string error;
+    EXPECT_FALSE(parse({flag}, &error).has_value()) << flag;
+    EXPECT_NE(error.find("--fabric"), std::string::npos) << flag;
+  }
+}
+
 }  // namespace
 }  // namespace cosched::bench

@@ -9,6 +9,7 @@
 #include "coflow/fifo_circuit.h"
 #include "coflow/sunflow.h"
 #include "common/rng.h"
+#include "fabric/ocs_fabric.h"
 
 namespace cosched {
 namespace {
@@ -28,13 +29,14 @@ struct Harness {
   IdAllocator<FlowId> ids;
   std::vector<std::unique_ptr<Coflow>> coflows;
 
-  explicit Harness(const char* kind) : net(sim, topo6()) {
+  explicit Harness(const char* kind)
+      : net(sim, topo6(), std::make_unique<OcsFabric>(sim, topo6(), 1)) {
     if (std::string(kind) == "fifo") {
       sched = std::make_unique<FifoCircuitScheduler>(sim, net);
     } else if (std::string(kind) == "bvn") {
       sched = std::make_unique<BvnCircuitScheduler>(sim, net);
     } else {
-      sched = std::make_unique<SunflowScheduler>(sim, net);
+      sched = std::make_unique<SunflowScheduler>(sim, net.fabric());
     }
   }
 

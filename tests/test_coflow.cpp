@@ -14,6 +14,7 @@
 #include "coflow/sunflow.h"
 #include "coflow/traffic_matrix.h"
 #include "common/rng.h"
+#include "fabric/ocs_fabric.h"
 #include "net/network.h"
 
 namespace cosched {
@@ -326,7 +327,10 @@ struct SunflowFixture {
   std::vector<std::unique_ptr<Coflow>> coflows;
   std::vector<FlowId> completed;
 
-  SunflowFixture() : topo(make_topo()), net(sim, topo), sunflow(sim, net) {
+  SunflowFixture()
+      : topo(make_topo()),
+        net(sim, topo, std::make_unique<OcsFabric>(sim, topo, 1)),
+        sunflow(sim, net.fabric()) {
     sunflow.set_on_flow_complete(
         [this](Flow& f) { completed.push_back(f.id()); });
   }
@@ -525,8 +529,8 @@ TEST(Sunflow, Figure2MotivationCcts) {
     t.ocs_link = Bandwidth::gbps(8);
     t.ocs_reconfig_delay = Duration::milliseconds(10);
     Simulator sim;
-    Network net(sim, t);
-    SunflowScheduler sunflow(sim, net);
+    Network net(sim, t, std::make_unique<OcsFabric>(sim, t, 1));
+    SunflowScheduler sunflow(sim, net.fabric());
     IdAllocator<FlowId> ids;
     Coflow job1(CoflowId{1}, JobId{1});
     Coflow job2(CoflowId{2}, JobId{2});

@@ -14,6 +14,10 @@
 //   COSCHED_FUZZ_CROSS_DISPATCH
 //                           "0" skips the offer-queue vs scan dispatch
 //                           crossing (on by default)
+//   COSCHED_FUZZ_FABRIC     force one --fabric spec (e.g. "ocs:1",
+//                           "rotor:50ms") instead of drawing it per case —
+//                           with "ocs:1" every case matches the pre-fabric
+//                           seam bit for bit
 //
 // A failure prints the full recipe (seed, topology, fault spec, scheduler,
 // threads) so any crash reproduces with COSCHED_FUZZ_RUNS=1 and the seed.
@@ -56,6 +60,7 @@ struct FuzzCase {
   [[nodiscard]] std::string describe() const {
     std::ostringstream os;
     os << "seed=" << seed << " scheduler=" << scheduler
+       << " fabric=" << cfg.sim.fabric.to_spec()
        << " threads=" << threads << " racks=" << cfg.sim.topo.num_racks
        << " servers=" << cfg.sim.topo.servers_per_rack
        << " slots=" << cfg.sim.topo.slots_per_server
@@ -133,16 +138,44 @@ FuzzCase draw_case(std::uint64_t seed) {
     s << "trem-noise:pct=" << pick(5, 40);
     append(s.str());
   }
+  const char* schedulers[] = {"fair",     "corral", "coscheduler",
+                              "mts+ocas", "ocas",   "delay"};
+  c.scheduler = schedulers[pick(0, 5)];
+  c.threads = pick(1, 3);
+
+  // The fabric axis. Drawn last so every earlier draw — and therefore
+  // every pre-existing fuzz case — is unchanged; COSCHED_FUZZ_FABRIC=ocs:1
+  // forces the default fabric on the whole sweep (the pre-seam behavior).
+  if (const char* forced = std::getenv("COSCHED_FUZZ_FABRIC");
+      forced != nullptr && *forced != '\0') {
+    std::string fab_error;
+    const std::optional<FabricSpec> fs = FabricSpec::parse(forced, &fab_error);
+    EXPECT_TRUE(fs.has_value()) << forced << ": " << fab_error;
+    c.cfg.sim.fabric = fs.value_or(FabricSpec{});
+  } else {
+    const char* fabrics[] = {"ocs:1",        "ocs:1", "ocs:1",  "ocs:2",
+                             "ocs:3",        "rotor:100ms", "rotor:50ms",
+                             "mesh",         "ring"};
+    std::string fab_error;
+    c.cfg.sim.fabric =
+        FabricSpec::parse(fabrics[pick(0, 8)], &fab_error).value();
+  }
+  // K-core fabrics can lose a single plane: sometimes target one instead of
+  // the whole switch (drawn after the fabric, so single-plane cases only
+  // consume randomness when the fabric has planes to lose).
+  if (c.cfg.sim.fabric.kind == FabricKind::kOcs &&
+      c.cfg.sim.fabric.planes > 1 && frac() < 0.4) {
+    std::ostringstream s;
+    s << "ocs-outage:at=" << pick(20, 120) << "s:dur=" << pick(5, 40)
+      << "s:plane=" << pick(0, c.cfg.sim.fabric.planes - 1);
+    append(s.str());
+  }
+
   c.fault_spec = spec.str();
   std::string error;
   const std::optional<FaultPlan> plan = FaultPlan::parse(c.fault_spec, &error);
   EXPECT_TRUE(plan.has_value()) << c.fault_spec << ": " << error;
   c.cfg.sim.faults = plan.value_or(FaultPlan{});
-
-  const char* schedulers[] = {"fair",     "corral", "coscheduler",
-                              "mts+ocas", "ocas",   "delay"};
-  c.scheduler = schedulers[pick(0, 5)];
-  c.threads = pick(1, 3);
   return c;
 }
 

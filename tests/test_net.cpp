@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "fabric/ocs_fabric.h"
 #include "net/eps_fabric.h"
 #include "net/network.h"
 #include "net/ocs_switch.h"
@@ -439,7 +440,7 @@ TEST(OcsSwitch, ConnectedToReportsPeer) {
 TEST(Network, ClassifiesByElephantThreshold) {
   Simulator sim;
   HybridTopology t = small_topo();
-  Network net(sim, t);
+  Network net(sim, t, std::make_unique<OcsFabric>(sim, t, 1));
   IdAllocator<FlowId> ids;
   Flow local(ids.next(), CoflowId{0}, JobId{0}, RackId{1}, RackId{1},
              DataSize::gigabytes(5));
@@ -454,7 +455,8 @@ TEST(Network, ClassifiesByElephantThreshold) {
 
 TEST(Network, OcsByteAccounting) {
   Simulator sim;
-  Network net(sim, small_topo());
+  const HybridTopology t = small_topo();
+  Network net(sim, t, std::make_unique<OcsFabric>(sim, t, 1));
   net.note_ocs_bytes(DataSize::gigabytes(2));
   net.note_ocs_bytes(DataSize::gigabytes(3));
   EXPECT_NEAR(net.ocs_bytes_transferred().in_gigabytes(), 5.0, 1e-9);
