@@ -136,6 +136,11 @@ struct BenchArgs {
   std::string sched = "coscheduler";
   /// Scheduler decision engine (--sched-engine=incremental|reference).
   SchedEngine sched_engine = SchedEngine::kIncremental;
+  /// Planner CCT-bound mode (--bound=fabric|legacy). fabric — the default —
+  /// charges the active fabric's Fabric::cct_lower_bound in PSRT/SBS;
+  /// legacy is the fabric-oblivious escape hatch for A/B comparison
+  /// (metrics stay fabric-aware either way; identical on ocs:1).
+  CctBoundMode cct_bound = CctBoundMode::kFabric;
   /// EPS rate engine (--eps-engine=grouped|reference).
   EpsFabric::RateEngine eps_engine = EpsFabric::RateEngine::kGrouped;
   /// Driver dispatch engine (--dispatch-engine=offer-queue|scan).
@@ -263,6 +268,16 @@ struct BenchArgs {
                    std::string(sched_eng) + "'";
           return std::nullopt;
         }
+      } else if (const char* bound = value("--bound=")) {
+        if (std::strcmp(bound, "fabric") == 0) {
+          args.cct_bound = CctBoundMode::kFabric;
+        } else if (std::strcmp(bound, "legacy") == 0) {
+          args.cct_bound = CctBoundMode::kLegacy;
+        } else {
+          *error = "--bound expects 'fabric' or 'legacy', got '" +
+                   std::string(bound) + "'";
+          return std::nullopt;
+        }
       } else if (const char* eps_eng = value("--eps-engine=")) {
         if (std::strcmp(eps_eng, "grouped") == 0) {
           args.eps_engine = EpsFabric::RateEngine::kGrouped;
@@ -320,6 +335,11 @@ struct BenchArgs {
         "          [--fabric=ocs[:K]|rotor[:PERIOD]|mesh|ring (default "
         "ocs:1;\n"
         "           see docs/FABRICS.md)]\n"
+        "          [--bound=fabric|legacy (planner T(C); default fabric, "
+        "the\n"
+        "           active fabric's own bound — legacy is the "
+        "fabric-oblivious\n"
+        "           escape hatch)]\n"
         "          [--faults=SPEC (see docs/FAULTS.md)]\n"
         "          [--audit | --no-audit (invariant auditor; default %s)]\n"
         "          [--trace-out=PATH] [--counters-out=PATH]\n"
@@ -400,6 +420,7 @@ inline ExperimentConfig paper_config(const BenchArgs& args) {
   cfg.sim.fabric = args.fabric;
   cfg.sim.audit = args.audit;
   cfg.sim.sched_engine = args.sched_engine;
+  cfg.sim.cct_bound = args.cct_bound;
   cfg.sim.eps_engine = args.eps_engine;
   cfg.sim.dispatch_engine = args.dispatch_engine;
   cfg.sim.heartbeat_sec = std::max(0.0, args.heartbeat_sec);

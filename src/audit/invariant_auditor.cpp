@@ -196,6 +196,13 @@ void InvariantAuditor::on_flow_routed(const Job& job, const Flow& flow) {
     os << "flow " << flow.id() << " routed to the OCS inside an outage window";
     fail("ocs-outage-quiet", os.str());
   }
+  if (job.coflow().completed()) {
+    // New demand reaching a fabric after the coflow already completed: a
+    // killed reduce's re-placement re-fetching map output. The coflow's
+    // measured CCT window is closed, so its final matrix now carries more
+    // work than the window did — invariant 7 must skip this job.
+    reopened_after_complete_.insert(job.id());
+  }
   FlowLedger& ledger = flows_[flow.id()];
   ledger.flow = &flow;
   ledger.job = job.id();
@@ -269,6 +276,45 @@ void InvariantAuditor::on_job_finished(const Job& job) {
     os << "job " << job.id() << " coflow totals " << flow_bits
        << " bits but only " << injected << " bits were routed";
     fail("byte-conservation", os.str());
+  }
+  // Invariant 7: a coflow that rode the circuit fabric end to end cannot
+  // beat the fabric's own lower bound over its final traffic matrix. Flows
+  // that ever fell back to the EPS (outage eviction, overlap-mode mice)
+  // void the premise, so the check requires every flow on FlowPath::kOcs.
+  if (check_cct_bound_ && job.has_shuffle() && job.coflow().completed() &&
+      reopened_after_complete_.count(job.id()) == 0) {
+    bool all_ocs = true;
+    for (const auto& f : job.coflow().flows()) {
+      // Same-rack flows never enter the cross-rack matrix the bound is
+      // computed over; only an EPS detour (mice, evictions) can deliver
+      // cross-rack bytes faster than the circuit model allows.
+      if (f->path() == FlowPath::kLocal) continue;
+      if (f->path() != FlowPath::kOcs) {
+        all_ocs = false;
+        break;
+      }
+    }
+    if (all_ocs) {
+      const Duration bound =
+          fabric_.cct_lower_bound(job.coflow().cross_rack_matrix());
+      // Tolerance covers sub-nanosecond completion rounding (the same
+      // slack the property suite grants).
+      if (job.coflow().cct().sec() < bound.sec() - 1e-6) {
+        std::ostringstream os;
+        os << "job " << job.id() << " coflow finished in "
+           << job.coflow().cct() << " but " << fabric_.name()
+           << " lower-bounds it at " << bound;
+        os << "\n  release=" << job.coflow().release_time()
+           << " completion=" << job.coflow().completion_time();
+        for (const auto& f : job.coflow().flows()) {
+          os << "\n  flow " << f->id() << " " << f->src() << "->" << f->dst()
+             << " size=" << f->size() << " path=" << to_string(f->path())
+             << " start=" << f->start_time()
+             << " done=" << f->completion_time();
+        }
+        fail("cct-lower-bound", os.str());
+      }
+    }
   }
   check_heavy();
 }

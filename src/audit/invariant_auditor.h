@@ -45,6 +45,16 @@
 //      bookkeeping) re-derived from first principles via
 //      JobScheduler::audit_invariants at dispatch boundaries; any
 //      divergence between cache and recompute aborts.
+//   7. CCT lower bound — a completed coflow whose every cross-rack flow
+//      drained on the circuit fabric (same-rack flows are exempt: they
+//      never enter the cross-rack matrix the bound is computed over) must
+//      take at least the fabric's own
+//      Fabric::cct_lower_bound over its final traffic matrix (each fabric
+//      documents its model in docs/FABRICS.md). Checked at job finish;
+//      disabled by the driver when reconfiguration jitter is injected
+//      (jittered setups can undercut the base delay the bound charges),
+//      and skipped for coflows reopened after completion (a killed
+//      reduce's re-fetch lands outside the measured CCT window).
 #pragma once
 
 #include <cstdint>
@@ -103,8 +113,14 @@ class InvariantAuditor {
   /// planes keep transferring, so there is no quiet window to enforce.
   void on_outage_begin();
   void on_outage_end();
-  /// A job completed: per-job conservation plus a global heavy check.
+  /// A job completed: per-job conservation, the CCT-lower-bound check for
+  /// pure-OCS coflows, plus a global heavy check.
   void on_job_finished(const Job& job);
+
+  /// Arm or disarm invariant 7 (default off — the driver arms it unless
+  /// the run injects reconfiguration jitter, whose per-setup draws can go
+  /// below the base delay the bound assumes).
+  void set_cct_bound_check(bool enabled) { check_cct_bound_ = enabled; }
 
   // ----- check passes ------------------------------------------------------
   /// O(racks * planes) sweep: container ledger, per-plane port
@@ -169,6 +185,12 @@ class InvariantAuditor {
 
   std::int32_t outage_depth_ = 0;
   std::int64_t checks_run_ = 0;
+  bool check_cct_bound_ = false;
+  /// Jobs whose coflow was reopened after completing — a killed reduce's
+  /// re-placement re-fetches map output after the measured CCT window
+  /// closed, so the final matrix holds more work than the window carried
+  /// and the lower-bound comparison (invariant 7) is no longer meaningful.
+  std::unordered_set<JobId> reopened_after_complete_;
 };
 
 }  // namespace cosched

@@ -17,8 +17,7 @@ void BvnCircuitScheduler::submit(Coflow& coflow, Flow& flow) {
     Entry entry;
     entry.coflow = &coflow;
     entry.priority_sec =
-        coflow.lower_bound(net_.ocs().link_rate(), net_.ocs().reconfig_delay())
-            .sec();
+        net_.fabric().cct_lower_bound(coflow.cross_rack_matrix()).sec();
     it = queue_.emplace(coflow.id(), std::move(entry)).first;
     auto pos = std::find_if(order_.begin(), order_.end(), [&](CoflowId id) {
       const Entry& e = queue_.at(id);

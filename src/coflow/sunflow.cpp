@@ -25,9 +25,12 @@ void SunflowScheduler::submit(Coflow& coflow, Flow& flow) {
   if (it == entries_.end()) {
     CoflowEntry entry;
     entry.coflow = &coflow;
+    // Shortest-bound-first priority, frozen at first submit. The fabric's
+    // own bound, not the single-circuit formula: on ocs:K the per-plane
+    // formula inverted wide-vs-tall coflow ordering (K = 1 is the same
+    // function, so the paper's ordering is pinned unchanged).
     entry.priority_sec =
-        coflow.lower_bound(fabric_.link_rate(), fabric_.reconfig_delay())
-            .sec();
+        fabric_.cct_lower_bound(coflow.cross_rack_matrix()).sec();
     it = entries_.emplace(coflow.id(), std::move(entry)).first;
     // Keep `order_` sorted by (priority, id): stable, deterministic.
     auto pos = std::find_if(order_.begin(), order_.end(), [&](CoflowId id) {

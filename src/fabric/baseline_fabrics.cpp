@@ -1,7 +1,10 @@
 #include "fabric/baseline_fabrics.h"
 
+#include <algorithm>
+#include <map>
 #include <sstream>
 
+#include "coflow/traffic_matrix.h"
 #include "common/check.h"
 
 namespace cosched {
@@ -143,5 +146,36 @@ MeshFabric::MeshFabric(Simulator& sim, const HybridTopology& topo)
 
 RingFabric::RingFabric(Simulator& sim, const HybridTopology& topo)
     : FifoFabric(sim, topo, static_cast<std::size_t>(topo.num_racks)) {}
+
+Duration MeshFabric::cct_lower_bound(const TrafficMatrix& matrix) const {
+  Duration bound = Duration::zero();
+  for (const auto& entry : matrix.entries()) {
+    bound = std::max(bound, transfer_time(entry.second, link_rate()));
+  }
+  return bound;
+}
+
+Duration RingFabric::cct_lower_bound(const TrafficMatrix& matrix) const {
+  const std::int32_t racks = topo_.num_racks;
+  const auto in_topology = [racks](RackId r) {
+    return r.value() >= 0 && r.value() < racks;
+  };
+  // Per source, accumulate hop-weighted egress busy time in Duration space
+  // (the hop-weighted byte sum could overflow int64 on large matrices).
+  std::map<RackId, Duration> busy;
+  for (const auto& entry : matrix.entries()) {
+    const RackId src = entry.first.first;
+    const RackId dst = entry.first.second;
+    const std::int32_t h =
+        in_topology(src) && in_topology(dst) && src != dst
+            ? hops(src, dst)
+            : 1;
+    busy[src] = busy[src] + transfer_time(entry.second, link_rate()) *
+                                static_cast<double>(h);
+  }
+  Duration bound = Duration::zero();
+  for (const auto& e : busy) bound = std::max(bound, e.second);
+  return bound;
+}
 
 }  // namespace cosched

@@ -79,6 +79,12 @@ class MeshFabric final : public FifoFabric {
   [[nodiscard]] FabricKind kind() const override { return FabricKind::kMesh; }
   [[nodiscard]] std::string name() const override { return "mesh"; }
 
+  /// Every ordered pair drains concurrently on its permanent circuit with
+  /// zero reconfiguration, so the only hard floor is the largest single
+  /// entry's transfer time (no per-port row/col serialization, no delta).
+  [[nodiscard]] Duration cct_lower_bound(
+      const TrafficMatrix& matrix) const override;
+
  protected:
   [[nodiscard]] std::size_t queue_index(const Flow& flow) const override {
     return static_cast<std::size_t>(flow.src().value()) *
@@ -102,6 +108,16 @@ class RingFabric final : public FifoFabric {
     const std::int32_t racks = topo_.num_racks;
     return (dst.value() - src.value() + racks) % racks;
   }
+
+  /// One transfer per source at a time, each at link/hops: a source's
+  /// egress is busy for sum_j C_sj * hops(s, j) / link no matter the
+  /// order, and that sum is the bound (zero reconfiguration, and no
+  /// destination term — the ring serializes on sources only). Rack ids
+  /// outside the topology (PSRT plans against abstract placeholder racks)
+  /// count the 1-hop minimum, keeping the bound a true lower bound for
+  /// any later identity assignment.
+  [[nodiscard]] Duration cct_lower_bound(
+      const TrafficMatrix& matrix) const override;
 
  protected:
   [[nodiscard]] std::size_t queue_index(const Flow& flow) const override {

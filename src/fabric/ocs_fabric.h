@@ -41,6 +41,15 @@ class OcsFabric final : public Fabric {
     return sunflow_.evict_all();
   }
 
+  /// K = 1: exactly the paper's T(C) (the cct_bound.h free function, bit
+  /// for bit). K > 1: the per-port bound for K parallel planes — each
+  /// port's transfer + setup busy time averages over its K transceivers,
+  /// some plane still hosts ceil(degree/K) setups, and a single flow can
+  /// never split across planes (the Wang et al. K-core OCS port model;
+  /// docs/FABRICS.md).
+  [[nodiscard]] Duration cct_lower_bound(
+      const TrafficMatrix& matrix) const override;
+
   [[nodiscard]] std::int32_t num_planes() const override {
     return static_cast<std::int32_t>(planes_.size());
   }

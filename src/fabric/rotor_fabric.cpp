@@ -1,12 +1,52 @@
 #include "fabric/rotor_fabric.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
 
+#include "coflow/cct_bound.h"
 #include "common/check.h"
 
 namespace cosched {
+
+Duration RotorFabric::cct_lower_bound(const TrafficMatrix& matrix) const {
+  const Bandwidth bw = link_rate();
+  const Duration delta = reconfig_delay();
+  // Usable bits per slot: circuits rise delta after every slot boundary
+  // (slot_begin -> circuits_up), so no port moves more than this in one
+  // slot — including a slot the coflow's release straddles.
+  const double cap_bits = (period_ - delta).sec() * bw.in_bits_per_sec();
+  const auto port = [&](DataSize sum, std::size_t degree) {
+    if (sum.is_zero()) return Duration::zero();
+    const Duration drain = transfer_time(sum, bw);
+    const double bits = static_cast<double>(sum.in_bytes()) * 8.0;
+    // Distinct slots this port must touch: one per destination (each slot
+    // wires the port to exactly one peer) and enough to carry the bits.
+    const double slots = std::max(static_cast<double>(degree),
+                                  std::ceil(bits / cap_bits));
+    if (slots <= 1.0) return drain;
+    // The first used slot's boundary may precede the release (a chained
+    // transfer keeps the circuit up mid-slot), so only n-2 full periods
+    // provably separate the release from the last slot's boundary; that
+    // slot pays delta and still moves what the earlier n-1 could not.
+    const double residual = std::max(0.0, bits - (slots - 1.0) * cap_bits);
+    const Duration tail =
+        period_ * (slots - 2.0) + delta +
+        Duration::seconds(residual / bw.in_bits_per_sec());
+    return std::max(drain, tail);
+  };
+  Duration bound = Duration::zero();
+  for (RackId src : matrix.sources()) {
+    bound = std::max(bound,
+                     port(matrix.row_sum(src), matrix.row_degree(src)));
+  }
+  for (RackId dst : matrix.destinations()) {
+    bound = std::max(bound,
+                     port(matrix.col_sum(dst), matrix.col_degree(dst)));
+  }
+  return bound;
+}
 
 RotorFabric::RotorFabric(Simulator& sim, const HybridTopology& topo,
                          Duration period)

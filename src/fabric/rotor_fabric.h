@@ -39,6 +39,17 @@ class RotorFabric final : public Fabric {
   void demand_added(Flow& flow) override;
   [[nodiscard]] std::vector<Flow*> evict_all() override;
 
+  /// Slot-quantized port bound. Per source (and, symmetrically, per
+  /// destination — each slot's matching is a permutation): the port needs
+  /// n = max(degree, ceil(bits / cap)) distinct slots, cap = (P - delta)*bw
+  /// being one slot's usable capacity; serving one transfer at a time at
+  /// rate <= bw gives the transfer_time term, and with n >= 2 the n-th
+  /// slot's boundary lies > release + (n-2)*P (the first used slot may
+  /// straddle the release), pays delta before circuits rise, and still has
+  /// the residual bits the other n-1 slots could not carry.
+  [[nodiscard]] Duration cct_lower_bound(
+      const TrafficMatrix& matrix) const override;
+
   [[nodiscard]] std::size_t pending_flows() const override {
     return pending_count_;
   }

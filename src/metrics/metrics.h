@@ -36,7 +36,10 @@ struct JobRecord {
   /// Lower bound T(C) of the final cross-rack matrix at OCS rate (valid
   /// iff has_shuffle).
   Duration cct_lower_bound = Duration::zero();
-  /// True if every one of the job's shuffle flows used the OCS.
+  /// True if every cross-rack shuffle flow used the circuit fabric.
+  /// Same-rack (kLocal) flows are exempt: they never enter the cross-rack
+  /// matrix that cct_lower_bound is computed over, so they cannot
+  /// invalidate the bound — only EPS detours (mice, evictions) can.
   bool all_flows_ocs = false;
 };
 

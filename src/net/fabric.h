@@ -37,6 +37,7 @@ namespace cosched {
 class Coflow;
 class OcsSwitch;
 class TraceRecorder;
+class TrafficMatrix;
 struct Observability;
 
 enum class FabricKind : std::uint8_t { kOcs, kRotor, kMesh, kRing };
@@ -125,6 +126,18 @@ class Fabric {
   /// unrouted as far as the fabric is concerned; the caller re-routes them
   /// (onto the EPS). Deterministic order.
   [[nodiscard]] virtual std::vector<Flow*> evict_all() = 0;
+
+  /// A hard lower bound on the time this fabric needs to drain `matrix` as
+  /// one coflow, measured from the coflow's release: no schedule the fabric
+  /// can produce completes sooner. Each implementation documents the model
+  /// its bound encodes (docs/FABRICS.md section "The bound contract");
+  /// ocs:1 reproduces the paper's T(C) (src/coflow/cct_bound.h) bit for
+  /// bit. Consumers: PSRT/SBS planning, Sunflow and BVN coflow priorities,
+  /// RunMetrics::cct_lower_bound, and the auditor's cct-lower-bound check.
+  /// Pure virtual (not defaulted) because cosched_net cannot link against
+  /// TrafficMatrix's accessors — implementations live in src/fabric/.
+  [[nodiscard]] virtual Duration cct_lower_bound(
+      const TrafficMatrix& matrix) const = 0;
 
   // ----- plane access (OCS-family fabrics) ---------------------------------
   /// Independent circuit planes. Non-plane fabrics report 0; plane(i) is

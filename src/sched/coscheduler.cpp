@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "net/fabric.h"
 #include "obs/decision_log.h"
 #include "obs/observability.h"
 #include "obs/perf_monitor.h"
@@ -18,9 +19,26 @@
 
 namespace cosched {
 
+namespace {
+
+/// The bound the planner charges under `ctx`: the fabric's own
+/// cct_lower_bound by default, the legacy ocs:1 formula under
+/// --bound=legacy or when no fabric is attached (hand-built contexts).
+CctBoundFn planner_cct_bound(const SchedContext& ctx) {
+  if (ctx.cct_bound == CctBoundMode::kFabric && ctx.fabric != nullptr) {
+    const Fabric* fabric = ctx.fabric;
+    return [fabric](const TrafficMatrix& matrix) {
+      return fabric->cct_lower_bound(matrix);
+    };
+  }
+  return legacy_cct_bound(ctx.topo.ocs_link, ctx.topo.ocs_reconfig_delay);
+}
+
+}  // namespace
+
 std::vector<PossibleSchedule> possible_reduce_schedules(
     const std::vector<DataSize>& sm, std::int32_t num_reduces,
-    DataSize elephant_threshold, Bandwidth ocs_rate, Duration reconfig_delay,
+    DataSize elephant_threshold, const CctBoundFn& bound,
     std::int32_t max_racks) {
   std::vector<PossibleSchedule> out;
   if (sm.empty() || num_reduces <= 0) return out;
@@ -76,15 +94,24 @@ std::vector<PossibleSchedule> possible_reduce_schedules(
     }
     PossibleSchedule ps;
     ps.d = std::move(d);
-    ps.cct = cct_lower_bound(matrix, ocs_rate, reconfig_delay);
+    ps.cct = bound(matrix);
     out.push_back(std::move(ps));
   }
   return out;
 }
 
-std::vector<PossibleSchedule> possible_reduce_schedules_incremental(
+std::vector<PossibleSchedule> possible_reduce_schedules(
     const std::vector<DataSize>& sm, std::int32_t num_reduces,
     DataSize elephant_threshold, Bandwidth ocs_rate, Duration reconfig_delay,
+    std::int32_t max_racks) {
+  return possible_reduce_schedules(sm, num_reduces, elephant_threshold,
+                                   legacy_cct_bound(ocs_rate, reconfig_delay),
+                                   max_racks);
+}
+
+std::vector<PossibleSchedule> possible_reduce_schedules_incremental(
+    const std::vector<DataSize>& sm, std::int32_t num_reduces,
+    DataSize elephant_threshold, const CctBoundFn& bound,
     std::int32_t max_racks) {
   std::vector<PossibleSchedule> out;
   if (sm.empty() || num_reduces <= 0) return out;
@@ -119,44 +146,47 @@ std::vector<PossibleSchedule> possible_reduce_schedules_incremental(
 
     // The reference builds the full m x r_red matrix with entries
     //   c_ij = sorted[i] * (d[j] / num_reduces)    (exact int64, llround)
-    // and takes cct_lower_bound = max over rows/cols of
-    //   transfer_time(sum) + delta * degree.
-    // Every row has degree r_red and every column degree m, and the
-    // per-entry multiply is monotone in both factors (double multiply and
-    // llround are weakly monotone for positive operands), so:
-    //   * the binding row is the largest map rack's (sorted.back()), its
-    //     sum the exact integer sum of that row's entries;
-    //   * the binding column is any receiving d_max tasks, and the
-    //     round-robin fill always leaves the maximum at d[0].
-    // Recomputing exactly those two sums with the verbatim per-entry
-    // expressions reproduces the reference bound bit for bit.
-    DataSize row_sum_max;
+    // and takes `bound` over it. Every fabric bound is, per row/column, a
+    // weakly monotone function of (sum, degree) — and weakly monotone in
+    // each entry for its per-entry terms — while every row of the full
+    // matrix shares degree r_red and every column degree m, with the
+    // per-entry multiply weakly monotone in both factors. So the binding
+    // row is the largest map rack's (sorted.back()) and the binding column
+    // is one receiving d_max tasks (the round-robin fill leaves the
+    // maximum at d[0]). Materializing exactly those two lines — with the
+    // verbatim per-entry expressions, the shared corner entry added once —
+    // yields a surrogate whose extra lines (degree 1, dominated sums)
+    // never bind, so `bound` over it reproduces the full-matrix value bit
+    // for bit in O(m + R_red) entries per candidate.
+    TrafficMatrix surrogate;
+    const auto m = static_cast<std::int64_t>(sorted.size());
     for (std::size_t j = 0; j < d.size(); ++j) {
-      row_sum_max =
-          row_sum_max + sorted.back() * (static_cast<double>(d[j]) /
-                                         static_cast<double>(num_reduces));
+      surrogate.add(RackId{m - 1}, RackId{static_cast<std::int64_t>(1000000 + j)},
+                    sorted.back() * (static_cast<double>(d[j]) /
+                                     static_cast<double>(num_reduces)));
     }
-    DataSize col_sum_max;
     const double d_max_share = static_cast<double>(d[0]) /
                                static_cast<double>(num_reduces);
-    for (std::size_t i = 0; i < sorted.size(); ++i) {
-      col_sum_max = col_sum_max + sorted[i] * d_max_share;
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      surrogate.add(RackId{static_cast<std::int64_t>(i)}, RackId{1000000},
+                    sorted[i] * d_max_share);
     }
-    const Duration row_bound =
-        transfer_time(row_sum_max, ocs_rate) +
-        reconfig_delay * static_cast<double>(d.size());
-    const Duration col_bound =
-        transfer_time(col_sum_max, ocs_rate) +
-        reconfig_delay * static_cast<double>(sorted.size());
-    const Duration cct =
-        std::max(Duration::zero(), std::max(row_bound, col_bound));
 
     PossibleSchedule ps;
     ps.d = std::move(d);
-    ps.cct = cct;
+    ps.cct = bound(surrogate);
     out.push_back(std::move(ps));
   }
   return out;
+}
+
+std::vector<PossibleSchedule> possible_reduce_schedules_incremental(
+    const std::vector<DataSize>& sm, std::int32_t num_reduces,
+    DataSize elephant_threshold, Bandwidth ocs_rate, Duration reconfig_delay,
+    std::int32_t max_racks) {
+  return possible_reduce_schedules_incremental(
+      sm, num_reduces, elephant_threshold,
+      legacy_cct_bound(ocs_rate, reconfig_delay), max_racks);
 }
 
 std::int32_t mts_map_rack_guideline(DataSize input, double sir,
@@ -424,16 +454,15 @@ void CoScheduler::on_maps_completed(Job& job, SchedContext& ctx) {
 
   PerfScope perf(PerfPhase::kPsrtEnumerate);
   perf.set_size(sm.size());
+  const CctBoundFn bound = planner_cct_bound(ctx);
   const std::vector<PossibleSchedule> schedules =
       engine_ == SchedEngine::kIncremental
           ? possible_reduce_schedules_incremental(
                 sm, job.spec().num_reduces, ctx.topo.elephant_threshold,
-                ctx.topo.ocs_link, ctx.topo.ocs_reconfig_delay,
-                ctx.topo.num_racks)
-          : possible_reduce_schedules(
-                sm, job.spec().num_reduces, ctx.topo.elephant_threshold,
-                ctx.topo.ocs_link, ctx.topo.ocs_reconfig_delay,
-                ctx.topo.num_racks);
+                bound, ctx.topo.num_racks)
+          : possible_reduce_schedules(sm, job.spec().num_reduces,
+                                      ctx.topo.elephant_threshold, bound,
+                                      ctx.topo.num_racks);
   if (schedules.empty()) return;
 
   select_best_schedule(job, schedules, map_racks, ctx);

@@ -54,21 +54,42 @@ struct PossibleSchedule {
 };
 
 /// PSRT: all possible schedules for a map-output distribution `sm`
-/// (per-rack output sizes, each >= elephant_threshold, any order).
+/// (per-rack output sizes, each >= elephant_threshold, any order). `bound`
+/// evaluates the CCT lower bound of each candidate's abstract traffic
+/// matrix — the active fabric's Fabric::cct_lower_bound under the default
+/// planner mode, or legacy_cct_bound under --bound=legacy.
+[[nodiscard]] std::vector<PossibleSchedule> possible_reduce_schedules(
+    const std::vector<DataSize>& sm, std::int32_t num_reduces,
+    DataSize elephant_threshold, const CctBoundFn& bound,
+    std::int32_t max_racks);
+
+/// Legacy-signature convenience: the fabric-oblivious ocs:1 bound over
+/// (ocs_rate, reconfig_delay). Kept so pre-fabric-aware callers and the
+/// pinned property tests keep compiling against the original contract.
 [[nodiscard]] std::vector<PossibleSchedule> possible_reduce_schedules(
     const std::vector<DataSize>& sm, std::int32_t num_reduces,
     DataSize elephant_threshold, Bandwidth ocs_rate, Duration reconfig_delay,
     std::int32_t max_racks);
 
 /// The incremental-engine PSRT enumeration: bit-identical output to
-/// possible_reduce_schedules without materializing any traffic matrix.
-/// Per candidate R_red the reference builds an m x R_red matrix (m = map
-/// racks) only to take its CCT lower bound; but every entry is the exact
-/// integer llround(SM_i * d_j / R), monotone in both SM_i and d_j, so the
-/// binding row is always the largest map rack's and the binding column is
-/// always one receiving d_max = d[0] tasks — the bound collapses to two
-/// exact integer sums, O(m + R_red) per candidate instead of
-/// O(m * R_red * log) map inserts (DESIGN.md §11).
+/// possible_reduce_schedules for the same `bound`, evaluating it on a
+/// surrogate matrix of O(m + R_red) entries instead of the full m x R_red
+/// build (m = map racks). Every full-matrix entry is the exact integer
+/// llround(SM_i * d_j / R), weakly monotone in both SM_i and d_j, and
+/// every fabric bound is weakly monotone per row/column in (sum, degree):
+/// the binding row is always the largest map rack's and the binding column
+/// is always one receiving d_max = d[0] tasks. The surrogate materializes
+/// exactly those two lines (shared corner entry added once); its extra
+/// degree-1 lines are dominated, so the bound over the surrogate equals
+/// the bound over the full matrix bit for bit (DESIGN.md §11).
+[[nodiscard]] std::vector<PossibleSchedule>
+possible_reduce_schedules_incremental(const std::vector<DataSize>& sm,
+                                      std::int32_t num_reduces,
+                                      DataSize elephant_threshold,
+                                      const CctBoundFn& bound,
+                                      std::int32_t max_racks);
+
+/// Legacy-signature convenience, as above.
 [[nodiscard]] std::vector<PossibleSchedule>
 possible_reduce_schedules_incremental(const std::vector<DataSize>& sm,
                                       std::int32_t num_reduces,

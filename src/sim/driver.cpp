@@ -38,6 +38,11 @@ SimulationDriver::SimulationDriver(SimConfig cfg, std::vector<JobSpec> workload,
   if (cfg_.audit) {
     audit_ = std::make_unique<InvariantAuditor>(sim_, net_, cluster_,
                                                 net_.fabric(), cfg_.topo);
+    // The cct-lower-bound check holds whenever the fabric's per-setup
+    // delay is what the bound formula assumes. Reconfiguration jitter
+    // draws delta * U[1-pct, 1+pct] per setup — possibly *below* the base
+    // delta — so the bound is no longer a guarantee under that fault.
+    audit_->set_cct_bound_check(!faults_.has_reconfig_jitter());
   }
   net_.fabric().set_on_flow_complete(
       [this](Flow& f) { on_flow_complete(f); });
@@ -110,7 +115,8 @@ SchedContext SimulationDriver::make_context() {
   return SchedContext{sim_.now(), cfg_.topo, cluster_,
                       active_jobs_, *this,   rng_,
                       cfg_.reduce_slowstart,  cfg_.obs,
-                      cfg_.faults.trem_error_or(cfg_.trem_error_rate) > 0.0};
+                      cfg_.faults.trem_error_or(cfg_.trem_error_rate) > 0.0,
+                      &net_.fabric(), cfg_.cct_bound};
 }
 
 RunMetrics SimulationDriver::run() {
@@ -185,10 +191,17 @@ RunMetrics SimulationDriver::run() {
       COSCHED_CHECK(job->coflow().completed());
       rec.cct = job->coflow().cct();
       rec.shuffle_bytes = job->coflow().total_demand();
-      rec.cct_lower_bound = job->coflow().lower_bound(
-          cfg_.topo.ocs_link, cfg_.topo.ocs_reconfig_delay);
+      // The *fabric's* bound, always (regardless of the planner's
+      // cct_bound escape hatch): on mesh/ring/rotor the old ocs_link/
+      // reconfig_delay formula reported a bound for a fabric the run
+      // never used (docs/FABRICS.md, "The bound contract").
+      rec.cct_lower_bound =
+          net_.fabric().cct_lower_bound(job->coflow().cross_rack_matrix());
       rec.all_flows_ocs = true;
       for (const auto& f : job->coflow().flows()) {
+        // Same-rack flows never enter the cross-rack matrix the bound is
+        // computed over; only an EPS detour can invalidate the bound.
+        if (f->path() == FlowPath::kLocal) continue;
         if (f->path() != FlowPath::kOcs) rec.all_flows_ocs = false;
       }
     }

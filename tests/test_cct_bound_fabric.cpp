@@ -1,0 +1,230 @@
+// Fabric::cct_lower_bound (ctest -L fabric): hand-derived bound values per
+// fabric — ocs:1 bit-identical to the paper's T(C) free function, ocs:K
+// dividing port work across planes (with the single-flow and ceil(deg/K)
+// setup terms), rotor slot quantization at the exactly-one-period edge,
+// mesh's zero-delta max-entry bound, ring hop scaling with the abstract-id
+// clamp — plus the PSRT reference/incremental surrogate equivalence under
+// every fabric bound (docs/FABRICS.md, "The bound contract").
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "coflow/cct_bound.h"
+#include "coflow/traffic_matrix.h"
+#include "fabric/baseline_fabrics.h"
+#include "fabric/ocs_fabric.h"
+#include "fabric/rotor_fabric.h"
+#include "net/topology.h"
+#include "sched/coscheduler.h"
+#include "simcore/simulator.h"
+
+namespace cosched {
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// 8 racks, 8 Gb/s OCS (= 1 GB/s, so a 1 GB transfer is exactly 1 s),
+/// delta = 10 ms, T_e = 1 GB: every hand-derived value below is exact.
+HybridTopology test_topo() {
+  HybridTopology topo;
+  topo.num_racks = 8;
+  topo.ocs_link = Bandwidth::gbps(8);
+  topo.ocs_reconfig_delay = Duration::milliseconds(10);
+  topo.elephant_threshold = DataSize::gigabytes(1);
+  return topo;
+}
+
+constexpr double kDelta = 0.01;
+
+TrafficMatrix asymmetric_matrix() {
+  // Row 0 is wide (two flows), column 1 is tall (4 GB single flow): the
+  // binding line differs between the legacy bound (column 1: 6 s + 2
+  // setups) and the per-entry term (the 4 GB flow).
+  TrafficMatrix m;
+  m.add(RackId{0}, RackId{1}, DataSize::gigabytes(2));
+  m.add(RackId{0}, RackId{2}, DataSize::gigabytes(1));
+  m.add(RackId{3}, RackId{1}, DataSize::gigabytes(4));
+  return m;
+}
+
+TEST(CctBoundFabric, Ocs1IsBitIdenticalToTheLegacyFreeFunction) {
+  Simulator sim;
+  const HybridTopology topo = test_topo();
+  const OcsFabric ocs1(sim, topo, 1);
+  const TrafficMatrix m = asymmetric_matrix();
+  const Duration legacy =
+      cct_lower_bound(m, topo.ocs_link, topo.ocs_reconfig_delay);
+  EXPECT_EQ(bits(ocs1.cct_lower_bound(m).sec()), bits(legacy.sec()));
+  // Hand value: col 1 binds at t(6 GB) + 2 * delta.
+  EXPECT_DOUBLE_EQ(legacy.sec(), 6.0 + 2.0 * kDelta);
+  EXPECT_EQ(bits(ocs1.cct_lower_bound(TrafficMatrix{}).sec()), bits(0.0));
+}
+
+TEST(CctBoundFabric, Ocs4SingleFlowTermBindsOnTheAsymmetricMatrix) {
+  Simulator sim;
+  const OcsFabric ocs4(sim, test_topo(), 4);
+  // Port terms shrink by 4: col 1 becomes (6 + 2 delta)/4 = 1.505 s. But
+  // the 4 GB flow still rides one circuit on one plane: 4 s + delta binds.
+  EXPECT_DOUBLE_EQ(ocs4.cct_lower_bound(asymmetric_matrix()).sec(),
+                   4.0 + kDelta);
+}
+
+TEST(CctBoundFabric, Ocs4DividesPortWorkAcrossPlanes) {
+  Simulator sim;
+  const OcsFabric ocs1(sim, test_topo(), 1);
+  const OcsFabric ocs4(sim, test_topo(), 4);
+  // One source fanning 1 GB to all 8 destinations: pure port-bound shape.
+  TrafficMatrix m;
+  for (int j = 1; j < 8; ++j) {
+    m.add(RackId{0}, RackId{j}, DataSize::gigabytes(1));
+  }
+  m.add(RackId{0}, RackId{100}, DataSize::gigabytes(1));
+  // ocs:1 charges the full serialized row: 8 s + 8 setups.
+  EXPECT_DOUBLE_EQ(ocs1.cct_lower_bound(m).sec(), 8.0 + kDelta * 8.0);
+  // ocs:4 spreads it over 4 transceivers; the single-flow term (1 s +
+  // delta) and ceil(8/4) setups are both smaller.
+  EXPECT_DOUBLE_EQ(ocs4.cct_lower_bound(m).sec(), (8.0 + kDelta * 8.0) / 4.0);
+}
+
+TEST(CctBoundFabric, OcsKCeilSetupTermBindsForTinyFlows) {
+  Simulator sim;
+  const OcsFabric ocs4(sim, test_topo(), 4);
+  // 5 flows of 4 MB from one source: transfer is 0.02 s total, so the
+  // averaged busy term is (0.02 + 5 delta)/4 = 0.0175 s — but 5 setups
+  // cannot pack onto 4 planes without some plane doing 2 in sequence.
+  TrafficMatrix m;
+  for (int j = 1; j <= 5; ++j) {
+    m.add(RackId{0}, RackId{j}, DataSize::megabytes(4));
+  }
+  EXPECT_DOUBLE_EQ(ocs4.cct_lower_bound(m).sec(),
+                   kDelta * std::ceil(5.0 / 4.0));
+}
+
+TEST(CctBoundFabric, RotorSlotEdgeAtExactlyOnePeriodOfCapacity) {
+  Simulator sim;
+  const RotorFabric rotor(sim, test_topo(), Duration::milliseconds(100));
+  // One slot's usable capacity is (P - delta) * bw = 90 ms at 1 GB/s =
+  // 90 MB. A flow of exactly that size fits one slot: the bound is its
+  // pure transfer time, not a period.
+  TrafficMatrix exact;
+  exact.add(RackId{0}, RackId{1}, DataSize::bytes(90'000'000));
+  EXPECT_DOUBLE_EQ(rotor.cct_lower_bound(exact).sec(), 0.09);
+  // One byte more needs a second slot; the straddle-aware tail
+  // ((n-2) P + delta + residual) stays below the drain term, which still
+  // binds — the bound grows continuously across the slot edge.
+  TrafficMatrix over;
+  over.add(RackId{0}, RackId{1}, DataSize::bytes(90'000'001));
+  EXPECT_DOUBLE_EQ(rotor.cct_lower_bound(over).sec(),
+                   transfer_time(DataSize::bytes(90'000'001),
+                                 Bandwidth::gbps(8))
+                       .sec());
+}
+
+TEST(CctBoundFabric, RotorDegreeForcesDistinctSlots) {
+  Simulator sim;
+  const RotorFabric rotor(sim, test_topo(), Duration::milliseconds(100));
+  // Three tiny flows to three destinations: the bits fit one slot, but
+  // each slot wires the source to exactly one peer, so three distinct
+  // slots are needed — the third's boundary lies > release + P, plus its
+  // delta. Slot quantization dominates the 12 ms of transfer.
+  TrafficMatrix m;
+  for (int j = 1; j <= 3; ++j) {
+    m.add(RackId{0}, RackId{j}, DataSize::megabytes(4));
+  }
+  EXPECT_DOUBLE_EQ(rotor.cct_lower_bound(m).sec(), 0.1 + kDelta);
+}
+
+TEST(CctBoundFabric, MeshChargesOnlyTheLargestEntryAndZeroDelta) {
+  Simulator sim;
+  const MeshFabric mesh(sim, test_topo());
+  const TrafficMatrix m = asymmetric_matrix();
+  // Every pair drains concurrently: 4 s for the largest flow, no delta —
+  // strictly below the legacy bound's 6.02 s column serialization.
+  EXPECT_DOUBLE_EQ(mesh.cct_lower_bound(m).sec(), 4.0);
+  EXPECT_LT(mesh.cct_lower_bound(m).sec(),
+            cct_lower_bound(m, test_topo().ocs_link,
+                            test_topo().ocs_reconfig_delay)
+                .sec());
+}
+
+TEST(CctBoundFabric, RingScalesByHopCountPerSource) {
+  Simulator sim;
+  const RingFabric ring(sim, test_topo());
+  TrafficMatrix m;
+  m.add(RackId{0}, RackId{1}, DataSize::gigabytes(1));  // 1 hop
+  m.add(RackId{0}, RackId{3}, DataSize::gigabytes(1));  // 3 hops
+  m.add(RackId{7}, RackId{1}, DataSize::gigabytes(1));  // wraps: 2 hops
+  // Source 0's egress is busy 1*1 + 1*3 = 4 s; source 7's only 2 s.
+  EXPECT_DOUBLE_EQ(ring.cct_lower_bound(m).sec(), 4.0);
+}
+
+TEST(CctBoundFabric, RingClampsAbstractRackIdsToOneHop) {
+  Simulator sim;
+  const RingFabric ring(sim, test_topo());
+  // PSRT plans against placeholder destination ids (1000000 + j) before
+  // SBS picks real racks; the bound must stay a true lower bound for any
+  // later identity assignment, i.e. count the 1-hop minimum.
+  TrafficMatrix m;
+  m.add(RackId{0}, RackId{1000000}, DataSize::gigabytes(1));
+  m.add(RackId{0}, RackId{1000001}, DataSize::gigabytes(1));
+  EXPECT_DOUBLE_EQ(ring.cct_lower_bound(m).sec(), 2.0);
+}
+
+// The incremental PSRT evaluates the fabric bound on a surrogate matrix of
+// just the binding row and column (coscheduler.h); that collapse must be
+// bit-exact under every fabric's formula, not only the legacy one.
+TEST(CctBoundFabric, PsrtIncrementalSurrogateMatchesReferencePerFabric) {
+  Simulator sim;
+  const HybridTopology topo = test_topo();
+  const OcsFabric ocs1(sim, topo, 1);
+  const OcsFabric ocs4(sim, topo, 4);
+  const RotorFabric rotor(sim, topo, Duration::milliseconds(100));
+  const MeshFabric mesh(sim, topo);
+  const RingFabric ring(sim, topo);
+  const std::vector<const Fabric*> fabrics = {&ocs1, &ocs4, &rotor, &mesh,
+                                              &ring};
+  const std::vector<DataSize> sm = {DataSize::gigabytes(3),
+                                    DataSize::gigabytes(2),
+                                    DataSize::gigabytes(5)};
+  for (const Fabric* fabric : fabrics) {
+    const CctBoundFn bound = [fabric](const TrafficMatrix& matrix) {
+      return fabric->cct_lower_bound(matrix);
+    };
+    const auto reference = possible_reduce_schedules(
+        sm, 7, topo.elephant_threshold, bound, topo.num_racks);
+    const auto incremental = possible_reduce_schedules_incremental(
+        sm, 7, topo.elephant_threshold, bound, topo.num_racks);
+    ASSERT_EQ(reference.size(), incremental.size()) << fabric->name();
+    ASSERT_FALSE(reference.empty()) << fabric->name();
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(reference[i].d, incremental[i].d) << fabric->name();
+      EXPECT_EQ(bits(reference[i].cct.sec()), bits(incremental[i].cct.sec()))
+          << fabric->name() << " candidate " << i;
+    }
+  }
+}
+
+// The legacy-signature PSRT overloads must keep producing the pre-fabric
+// bound (pinning the escape hatch and the old tests' contract).
+TEST(CctBoundFabric, LegacySignatureOverloadsMatchLegacyBoundFn) {
+  const HybridTopology topo = test_topo();
+  const std::vector<DataSize> sm = {DataSize::gigabytes(3),
+                                    DataSize::gigabytes(2)};
+  const auto via_signature = possible_reduce_schedules(
+      sm, 5, topo.elephant_threshold, topo.ocs_link, topo.ocs_reconfig_delay,
+      topo.num_racks);
+  const auto via_fn = possible_reduce_schedules(
+      sm, 5, topo.elephant_threshold,
+      legacy_cct_bound(topo.ocs_link, topo.ocs_reconfig_delay),
+      topo.num_racks);
+  ASSERT_EQ(via_signature.size(), via_fn.size());
+  for (std::size_t i = 0; i < via_fn.size(); ++i) {
+    EXPECT_EQ(bits(via_signature[i].cct.sec()), bits(via_fn[i].cct.sec()));
+  }
+}
+
+}  // namespace
+}  // namespace cosched

@@ -76,9 +76,10 @@ TEST_P(SchedulerProperty, CctNeverBeatsLowerBoundForPureOcsCoflows) {
   const RunMetrics m = run(scheduler, seed);
   for (const JobRecord& j : m.jobs) {
     if (!j.has_shuffle || !j.all_flows_ocs) continue;
-    // T(C) is a hard lower bound when every flow rides the OCS (per-port
-    // serialization + one reconfiguration per flow). Tolerance covers the
-    // sub-nanosecond completion rounding.
+    // T(C) is a hard lower bound when every cross-rack flow rides the OCS
+    // (per-port serialization + one reconfiguration per flow; same-rack
+    // flows are exempt — they never enter the cross-rack matrix).
+    // Tolerance covers the sub-nanosecond completion rounding.
     EXPECT_GE(j.cct.sec(), j.cct_lower_bound.sec() - 1e-6)
         << "job " << j.id << " under " << scheduler;
   }
@@ -114,6 +115,53 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name;
     });
+
+// ---- fabric sweep: the reported bound is honest on every fabric. --------
+
+/// Every fabric's Fabric::cct_lower_bound must be a true lower bound for
+/// the CCT its own simulation achieves (docs/FABRICS.md, "The bound
+/// contract") — the per-fabric mirror of
+/// CctNeverBeatsLowerBoundForPureOcsCoflows, which covers only ocs:1.
+TEST(FabricBoundProperty, AchievedCctNeverBeatsReportedBoundOnAnyFabric) {
+  for (const std::string spec :
+       {"ocs:1", "ocs:4", "rotor:100ms", "mesh", "ring"}) {
+    std::string error;
+    const auto fabric = FabricSpec::parse(spec, &error);
+    ASSERT_TRUE(fabric.has_value()) << spec << ": " << error;
+    std::size_t checked = 0;
+    for (const std::uint64_t seed : {3ULL, 42ULL}) {
+      ExperimentConfig cfg;
+      cfg.sim.topo.num_racks = 15;
+      cfg.sim.topo.servers_per_rack = 2;
+      cfg.sim.topo.slots_per_server = 10;
+      cfg.sim.fabric = *fabric;
+      cfg.workload.num_jobs = 30;
+      cfg.workload.num_users = 5;
+      cfg.workload.arrival_window = Duration::minutes(4);
+      cfg.workload.max_maps = 80;
+      cfg.workload.max_reduces = 10;
+      cfg.workload.heavy_input_mu = 2.5;
+      cfg.workload.heavy_input_sigma = 0.8;
+      cfg.workload.max_input = DataSize::gigabytes(60);
+      cfg.base_seed = seed;
+      cfg.repetitions = 1;
+      const RunMetrics m =
+          run_once(cfg, make_scheduler_factory("coscheduler"), 0);
+      EXPECT_EQ(m.jobs.size(), 30u) << spec;
+      for (const JobRecord& j : m.jobs) {
+        if (!j.has_shuffle || !j.all_flows_ocs) continue;
+        ++checked;
+        EXPECT_GT(j.cct_lower_bound.sec(), 0.0)
+            << "job " << j.id << " on " << spec;
+        EXPECT_GE(j.cct.sec(), j.cct_lower_bound.sec() - 1e-6)
+            << "job " << j.id << " beat the " << spec << " bound";
+      }
+    }
+    // Guard against vacuity: across the seeds, at least one coflow must
+    // have kept every cross-rack flow on the circuit fabric.
+    EXPECT_GT(checked, 0u) << spec << ": no pure-circuit coflow exercised";
+  }
+}
 
 // ---- topology sweep: the invariants hold across cluster shapes. ---------
 
